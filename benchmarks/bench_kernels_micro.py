@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the hot numeric paths.
+
+These are genuine pytest-benchmark measurements of the library's own
+compute kernels (sampling, aggregation, forward/backward) — the
+quantities that bound functional-mode throughput of the reproduction
+itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import layer_dims
+from repro.graph.datasets import load_dataset
+from repro.nn.aggregators import SparseAggregator, segment_sum_aggregate
+from repro.nn.loss import softmax_cross_entropy
+from repro.nn.models import build_model
+from repro.sampling.neighbor import NeighborSampler
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return load_dataset("ogbn-products", scale=1 / 512, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sampler(ds):
+    return NeighborSampler(ds.graph, np.arange(ds.graph.num_vertices),
+                           (15, 10), ds.spec.feature_dim, seed=1)
+
+
+@pytest.fixture(scope="module")
+def batch(sampler):
+    return sampler.sample(np.arange(512))
+
+
+def test_bench_neighbor_sampling(benchmark, sampler):
+    rng = np.random.default_rng(0)
+
+    def draw():
+        targets = rng.choice(4000, size=512, replace=False)
+        return sampler.sample(targets)
+
+    mb = benchmark(draw)
+    assert mb.targets.size == 512
+
+
+def test_bench_sparse_aggregation(benchmark, batch):
+    blk = batch.blocks[0]
+    h = np.random.default_rng(1).standard_normal((blk.num_src, 100))
+    agg = SparseAggregator(blk)
+    out = benchmark(lambda: agg.forward(h))
+    assert out.shape == (blk.num_dst, 100)
+
+
+def test_bench_segment_sum_path(benchmark, batch):
+    blk = batch.blocks[0]
+    h = np.random.default_rng(1).standard_normal((blk.num_src, 100))
+    out = benchmark(lambda: segment_sum_aggregate(blk, h))
+    assert out.shape == (blk.num_dst, 100)
+
+
+@pytest.mark.parametrize("model_name", ["gcn", "sage"])
+def test_bench_forward_backward(benchmark, ds, batch, model_name):
+    dims = layer_dims(ds.spec.feature_dim, 128, ds.spec.num_classes, 2)
+    model = build_model(model_name, dims, seed=0)
+    x0 = ds.features[batch.input_nodes].astype(np.float64)
+    labels = ds.labels[batch.targets]
+    deg = ds.graph.out_degrees
+
+    def step():
+        model.zero_grad()
+        logits = model.forward(batch, x0, deg)
+        loss, dl = softmax_cross_entropy(logits, labels)
+        model.backward(dl)
+        return loss
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

@@ -1,0 +1,40 @@
+"""Table II — specifications of the platforms.
+
+Prints the device table with the exact paper values and benchmarks the
+hot path those specs feed (link transfer-time evaluation).
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.hw.specs import (
+    AMD_EPYC_7763,
+    LINK_PCIE4_X16,
+    NVIDIA_A5000,
+    XILINX_U250,
+)
+
+
+def test_table2_platform_specs(benchmark, show):
+    devices = (AMD_EPYC_7763, NVIDIA_A5000, XILINX_U250)
+    rows = [(d.name, d.kind, d.peak_tflops, d.frequency_ghz * 1000,
+             d.onchip_memory_mb, d.mem_bandwidth_gbps)
+            for d in devices]
+    show(format_table(
+        "Table II - Specifications of the platforms",
+        ["device", "kind", "peak TFLOPS", "freq (MHz)",
+         "on-chip (MB)", "mem BW (GB/s)"], rows,
+        notes=["values match paper Table II exactly"]))
+
+    # Paper values are load-bearing for every other experiment.
+    assert AMD_EPYC_7763.peak_tflops == 3.6
+    assert NVIDIA_A5000.peak_tflops == 27.8
+    assert XILINX_U250.peak_tflops == 0.6
+
+    def transfer_sweep():
+        total = 0.0
+        for nbytes in range(0, 64 * 1024 * 1024, 1024 * 1024):
+            total += LINK_PCIE4_X16.transfer_time(nbytes)
+        return total
+
+    assert benchmark(transfer_sweep) > 0

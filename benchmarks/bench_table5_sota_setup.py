@@ -1,0 +1,41 @@
+"""Table V — platform setup of the state-of-the-art comparators."""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.hw.topology import (
+    distdgl_node,
+    hyscale_cpu_fpga_platform,
+    p3_node,
+    pagraph_node,
+)
+
+
+def test_table5_sota_platform_setup(show, benchmark):
+    systems = [
+        ("PaGraph", pagraph_node(), "(25, 10)", 256),
+        ("P3", p3_node(), "(25, 10)", 32),
+        ("DistDGLv2", distdgl_node(), "(15, 10, 5)", 256),
+        ("This work", hyscale_cpu_fpga_platform(4), "-", "-"),
+    ]
+    rows = []
+    for name, plat, sample, hidden in systems:
+        rows.append((name, plat.num_nodes,
+                     f"{plat.num_sockets}x {plat.cpu.name}",
+                     f"{plat.num_accelerators}x "
+                     f"{plat.accelerator.name}",
+                     sample, hidden,
+                     round(plat.total_peak_tflops, 1)))
+    show(format_table(
+        "Table V - Platform setup of state-of-the-art",
+        ["system", "nodes", "CPUs / node", "accels / node",
+         "sample size", "hidden", "total TFLOPS"], rows))
+
+    # Table V structure checks.
+    assert pagraph_node().num_nodes == 1
+    assert p3_node().num_nodes == 4
+    assert distdgl_node().num_nodes == 8
+    assert distdgl_node().num_accelerators * distdgl_node().num_nodes \
+        == 64
+
+    benchmark(lambda: hyscale_cpu_fpga_platform(4).total_peak_tflops)

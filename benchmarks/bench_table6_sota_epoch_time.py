@@ -1,0 +1,45 @@
+"""Table VI — epoch time comparison with state-of-the-art.
+
+Ours (single node, 4 FPGAs) vs mechanistic models of PaGraph, P3 and
+DistDGLv2 on their published platforms with matched model configs.
+Paper geo-mean speedups: 1.76x vs PaGraph, 4.57x vs P3, 0.45x vs
+DistDGLv2 (which uses 64 GPUs on 8 nodes).
+"""
+
+import functools
+
+import pytest
+
+from repro.bench.experiments import run_sota_comparison
+from repro.bench.harness import geomean
+
+
+@functools.lru_cache(maxsize=1)
+def _tables():
+    return run_sota_comparison()
+
+
+def test_table6_epoch_time_vs_sota(show, benchmark):
+    t6, _ = benchmark.pedantic(_tables, iterations=1, rounds=1)
+    show(t6.render())
+
+    by_comp = {}
+    for row in t6.rows:
+        by_comp.setdefault(row[0], []).append(row[5])
+    # Orderings from the paper: we beat the single-node and the 4-node
+    # systems, and lose to the 64-GPU 8-node system.
+    assert geomean(by_comp["vs PaGraph"]) > 1.0
+    assert geomean(by_comp["vs P3"]) > 1.0
+    assert geomean(by_comp["vs DistDGLv2"]) < 1.0
+    # P3 margin exceeds the PaGraph margin (paper: 4.57x vs 1.76x).
+    assert geomean(by_comp["vs P3"]) > geomean(by_comp["vs PaGraph"])
+
+
+def test_table6_distdgl_ratio_near_paper(benchmark):
+    benchmark(_tables)
+    """The DistDGLv2 ratio is the sharpest quantitative anchor in the
+    paper (0.45x); our mechanistic model should land in its vicinity."""
+    t6, _ = _tables()
+    ratios = [r[5] for r in t6.rows if r[0] == "vs DistDGLv2"]
+    g = geomean(ratios)
+    assert 0.2 < g < 0.9

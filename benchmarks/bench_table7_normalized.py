@@ -1,0 +1,43 @@
+"""Table VII — TFLOPS-normalized epoch time comparison.
+
+Normalizing epoch time by platform peak compute shows system-design
+efficiency rather than raw hardware strength. Paper geo-means: 21x vs
+PaGraph, 71x vs P3, 25x vs DistDGLv2 — all heavily in HyScale-GNN's
+favour because the comparators hold 100+ TFLOPS of GPUs while HyScale
+holds 9.6 TFLOPS of CPU+FPGA.
+"""
+
+import functools
+
+import pytest
+
+from repro.bench.experiments import run_sota_comparison
+from repro.bench.harness import geomean
+
+
+@functools.lru_cache(maxsize=1)
+def _tables():
+    return run_sota_comparison()
+
+
+def test_table7_normalized_epoch_time(show, benchmark):
+    _, t7 = benchmark.pedantic(_tables, iterations=1, rounds=1)
+    show(t7.render())
+
+    by_comp = {}
+    for row in t7.rows:
+        by_comp.setdefault(row[0], []).append(row[5])
+
+    # After normalization every comparison flips decisively our way —
+    # including DistDGLv2, which beat us on raw epoch time.
+    for comp, ratios in by_comp.items():
+        assert geomean(ratios) > 3.0, comp
+    assert geomean(by_comp["vs DistDGLv2"]) > 1.0
+
+
+def test_table7_normalization_flips_distdgl(benchmark):
+    benchmark(_tables)
+    t6, t7 = _tables()
+    raw = geomean([r[5] for r in t6.rows if r[0] == "vs DistDGLv2"])
+    norm = geomean([r[5] for r in t7.rows if r[0] == "vs DistDGLv2"])
+    assert raw < 1.0 < norm

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Live processor-accelerator protocol demo (paper Listing 1, Fig. 5).
+
+Runs hybrid synchronous-SGD training on *real threads*: a producer
+thread plays Mini-batch Sampler + Feature Loader filling bounded
+prefetch buffers; trainer threads train model replicas; the
+synchronizer waits for every trainer's DONE, all-reduces, and releases
+the next iteration after all ACKs — the exact condition-variable
+handshake of the paper's pthread implementation.
+
+Prints the protocol event log for the first iterations and validates
+every ordering invariant.
+
+Run:  python examples/threaded_protocol.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.graph.datasets import tiny_dataset
+from repro.runtime import ThreadedExecutor, validate_protocol
+
+
+def main() -> None:
+    dataset = tiny_dataset(num_vertices=800, feature_dim=24,
+                           num_classes=4, avg_degree=10.0, seed=2)
+    cfg = TrainingConfig(model="gcn", minibatch_size=48,
+                         fanouts=(6, 4), hidden_dim=24,
+                         learning_rate=0.05, seed=7)
+
+    executor = ThreadedExecutor(dataset, cfg, num_trainers=3,
+                                prefetch_depth=2, timeout_s=60)
+    print("running 8 iterations on 3 trainer threads + producer ...")
+    report = executor.run(8)
+
+    print(f"\nwall time: {report.wall_time_s:.2f} s")
+    print(f"losses: {[round(l, 3) for l in report.losses]}")
+    print(f"replicas consistent: {report.replicas_consistent}")
+    print(f"prefetch high-water mark: {report.prefetch_high_water} "
+          f"(depth 2)")
+
+    validate_protocol(report.protocol_log, executor.num_trainers)
+    print("protocol invariants: OK "
+          "(n DONEs -> 1 SYNC -> n ACKs per iteration, no interleave)")
+
+    print("\nprotocol log, iterations 0-1:")
+    for event in report.protocol_log.events:
+        if event.iteration > 1:
+            break
+        print(f"  iter {event.iteration}: {event.signal.value:5s} "
+              f"from {event.sender}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim so ``pip install -e .`` works without network.
+
+All metadata lives in ``pyproject.toml``; this file only exists so pip
+takes the non-isolated build path (build isolation would try to download
+setuptools, which offline environments cannot).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Comparator systems (paper §VI-E, Tables V-VII).
+
+Four baselines, each modelled mechanistically on its published platform
+(Table V) rather than transcribing the paper's speedup numbers:
+
+* :class:`PyGMultiGPUBaseline` — the multi-GPU PyTorch-Geometric baseline
+  of Fig. 10: accelerator-only training with strictly serialized
+  per-iteration stages and PyG's (slow) sampler/loader.
+* :class:`PaGraphSystem` — single node, 8× V100, degree-ordered static
+  feature cache in GPU memory; misses fetched over PCIe (Lin et al.,
+  SoCC'20).
+* :class:`P3System` — 4 nodes × 4 P100, intra-layer model parallelism:
+  features never cross the network, first-layer activations do (Gandhi &
+  Iyer, OSDI'21). Evaluated at hidden dim 32 as in its paper.
+* :class:`DistDGLv2System` — 8 nodes × 8 T4, METIS-partitioned graph with
+  halo feature fetches over the network and hybrid CPU/GPU execution
+  (Zheng et al., KDD'22).
+"""
+
+from .multi_gpu import PyGMultiGPUBaseline
+from .pagraph import PaGraphSystem
+from .p3 import P3System
+from .distdgl import DistDGLv2System
+from .common import BaselineReport
+
+__all__ = [
+    "BaselineReport",
+    "PyGMultiGPUBaseline",
+    "PaGraphSystem",
+    "P3System",
+    "DistDGLv2System",
+]

@@ -1,0 +1,80 @@
+"""Shared plumbing for the comparator systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import TrainingConfig, layer_dims
+from ..errors import ConfigError
+from ..graph.datasets import GraphDataset
+from ..perfmodel.sampling_profile import project_full_scale_stats
+from ..sampling.base import MiniBatchStats
+
+
+@dataclass(frozen=True)
+class BaselineReport:
+    """Epoch-level outcome of a comparator simulation."""
+
+    system: str
+    dataset: str
+    model: str
+    epoch_time_s: float
+    iterations: int
+    iteration_time_s: float
+    stage_breakdown: dict[str, float] = field(default_factory=dict)
+
+    def normalized_epoch_time(self, peak_tflops: float) -> float:
+        """Table VII metric: epoch seconds × platform peak TFLOPS."""
+        if peak_tflops <= 0:
+            raise ConfigError("peak_tflops must be positive")
+        return self.epoch_time_s * peak_tflops
+
+
+def batch_stats_for(dataset: GraphDataset, train_cfg: TrainingConfig,
+                    targets: int) -> MiniBatchStats:
+    """Full-scale projected statistics for a ``targets``-sized batch."""
+    base = project_full_scale_stats(
+        dataset.graph, dataset.spec, train_cfg.fanouts,
+        train_cfg.minibatch_size)
+    return base.scaled(targets / train_cfg.minibatch_size)
+
+
+def iterations_per_epoch(dataset: GraphDataset, total_targets: int) -> int:
+    """Full-scale iterations to cover the train set once."""
+    if total_targets <= 0:
+        raise ConfigError("total_targets must be positive")
+    return max(1, -(-dataset.spec.train_count // total_targets))
+
+
+def model_dims(dataset: GraphDataset,
+               train_cfg: TrainingConfig) -> tuple[int, ...]:
+    """(f^0, ..., f^L) for a dataset under a training config."""
+    return layer_dims(dataset.spec.feature_dim, train_cfg.hidden_dim,
+                      dataset.spec.num_classes, train_cfg.num_layers)
+
+
+def degree_ordered_hit_ratio(dataset: GraphDataset,
+                             cache_vertex_fraction: float) -> float:
+    """Feature-cache hit ratio for a degree-ordered static cache.
+
+    Neighbor sampling touches vertices with probability roughly
+    proportional to degree, so caching the hottest (highest-degree)
+    vertices captures the cumulative degree mass of the cached fraction
+    — PaGraph's cache policy (computation-aware caching ranks by
+    out-degree). Computed on the scaled graph, whose degree distribution
+    matches the full-scale one.
+    """
+    if not 0.0 <= cache_vertex_fraction:
+        raise ConfigError("cache fraction must be non-negative")
+    if cache_vertex_fraction >= 1.0:
+        return 1.0
+    degs = np.sort(dataset.graph.out_degrees)[::-1].astype(np.float64)
+    k = int(round(degs.size * cache_vertex_fraction))
+    if k <= 0:
+        return 0.0
+    total = degs.sum()
+    if total <= 0:
+        return 0.0
+    return float(degs[:k].sum() / total)

@@ -1,0 +1,33 @@
+"""Benchmark harness: experiment drivers and table/series formatting.
+
+Each paper table/figure has a driver in :mod:`repro.bench.experiments`
+returning structured results; ``benchmarks/bench_*.py`` print them in the
+paper's row/series layout and assert the qualitative shape (orderings,
+crossovers) the paper reports.
+"""
+
+from .harness import (
+    ExperimentResult,
+    format_series,
+    format_table,
+    geomean,
+)
+from .experiments import (
+    run_ablation,
+    run_cross_platform,
+    run_perfmodel_accuracy,
+    run_scalability,
+    run_sota_comparison,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "format_series",
+    "geomean",
+    "run_cross_platform",
+    "run_ablation",
+    "run_scalability",
+    "run_perfmodel_accuracy",
+    "run_sota_comparison",
+]

@@ -1,0 +1,248 @@
+"""Experiment drivers — one per paper table/figure.
+
+Each driver builds the systems it needs, runs timing simulations at the
+paper's full dataset scale, and returns an :class:`ExperimentResult`.
+Dataset instances are cached per process (construction costs seconds).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from ..config import ABLATION_PRESETS, TrainingConfig
+from ..graph.datasets import GraphDataset, load_dataset
+from ..hw.topology import (
+    distdgl_node,
+    hyscale_cpu_fpga_platform,
+    hyscale_cpu_gpu_platform,
+    p3_node,
+    pagraph_node,
+)
+from ..baselines import (
+    DistDGLv2System,
+    P3System,
+    PaGraphSystem,
+    PyGMultiGPUBaseline,
+)
+from ..runtime.hybrid import HyScaleGNN
+from .harness import ExperimentResult, geomean
+
+#: Datasets in paper order.
+DATASETS = ("ogbn-products", "ogbn-papers100M", "mag240m")
+MODELS = ("gcn", "sage")
+
+#: Default probe count for bench-time system construction (kept small;
+#: probes only calibrate jitter and scaled-batch means).
+PROBES = 3
+
+
+@functools.lru_cache(maxsize=8)
+def dataset(name: str, seed: int = 0) -> GraphDataset:
+    """Cached scaled dataset instance."""
+    return load_dataset(name, seed=seed)
+
+
+def paper_config(model: str, **overrides) -> TrainingConfig:
+    """The paper's standard setup (§VI-A2)."""
+    base = dict(model=model, minibatch_size=1024, fanouts=(25, 10),
+                hidden_dim=256, seed=1)
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+def _hyscale(ds: GraphDataset, platform, cfg: TrainingConfig,
+             preset: str = "hybrid_drm_tfp") -> HyScaleGNN:
+    return HyScaleGNN(ds, platform, cfg, ABLATION_PRESETS[preset],
+                      full_scale=True, profile_probes=PROBES)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — cross-platform comparison
+# ---------------------------------------------------------------------------
+
+def run_cross_platform(num_accels: int = 4,
+                       datasets=DATASETS) -> ExperimentResult:
+    """Multi-GPU baseline vs CPU+GPU vs CPU+FPGA epoch times.
+
+    Paper speedups over the baseline: CPU+GPU 1.45-2.08x, CPU+FPGA
+    8.87-12.6x (Fig. 10).
+    """
+    res = ExperimentResult(
+        title="Fig. 10 - Cross platform comparison (epoch time, s)",
+        columns=["dataset", "model", "multi-GPU", "CPU+GPU",
+                 "speedup", "CPU+FPGA", "speedup"])
+    for ds_name in datasets:
+        ds = dataset(ds_name)
+        for model in MODELS:
+            cfg = paper_config(model)
+            base = PyGMultiGPUBaseline(
+                ds, cfg, platform=hyscale_cpu_gpu_platform(num_accels),
+                profile_probes=PROBES)
+            t_base = base.simulate_epoch().epoch_time_s
+            t_gpu = _hyscale(ds, hyscale_cpu_gpu_platform(num_accels),
+                             cfg).simulate_epoch().epoch_time_s
+            t_fpga = _hyscale(ds, hyscale_cpu_fpga_platform(num_accels),
+                              cfg).simulate_epoch().epoch_time_s
+            res.add_row(ds_name, model, t_base, t_gpu, t_base / t_gpu,
+                        t_fpga, t_base / t_fpga)
+    res.notes.append("paper: CPU+GPU up to 2.08x, CPU+FPGA up to "
+                     "12.6x over the multi-GPU baseline")
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — ablation
+# ---------------------------------------------------------------------------
+
+def run_ablation(platform_kind: str = "fpga", num_accels: int = 4,
+                 datasets=DATASETS) -> ExperimentResult:
+    """Baseline → +hybrid → +DRM → +TFP (paper Fig. 11, CPU-FPGA)."""
+    factory = hyscale_cpu_fpga_platform if platform_kind == "fpga" \
+        else hyscale_cpu_gpu_platform
+    res = ExperimentResult(
+        title=f"Fig. 11 - Impact of optimizations (CPU-"
+              f"{platform_kind.upper()}, normalized speedup)",
+        columns=["dataset", "model", "baseline", "hybrid(static)",
+                 "hybrid+DRM", "hybrid+DRM+TFP"])
+    for ds_name in datasets:
+        ds = dataset(ds_name)
+        for model in MODELS:
+            cfg = paper_config(model)
+            times = {}
+            for preset in ABLATION_PRESETS:
+                system = _hyscale(ds, factory(num_accels), cfg, preset)
+                times[preset] = system.simulate_epoch().epoch_time_s
+            base = times["baseline"]
+            res.add_row(ds_name, model, 1.0,
+                        base / times["hybrid_static"],
+                        base / times["hybrid_drm"],
+                        base / times["hybrid_drm_tfp"])
+    res.notes.append("paper (CPU-FPGA): up to 1.13x / 1.33x / 1.79x")
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — scalability
+# ---------------------------------------------------------------------------
+
+def run_scalability(accel_counts=(1, 2, 4, 8, 16),
+                    platform_kind: str = "fpga",
+                    datasets=DATASETS) -> ExperimentResult:
+    """Normalized speedup vs accelerator count (perf-model projection,
+    exactly how the paper produces Fig. 9)."""
+    factory = hyscale_cpu_fpga_platform if platform_kind == "fpga" \
+        else hyscale_cpu_gpu_platform
+    res = ExperimentResult(
+        title=f"Fig. 9 - Scalability (CPU-{platform_kind.upper()}, "
+              "speedup normalized to 1 accelerator)",
+        columns=["dataset", "model"] + [f"{n} accel"
+                                        for n in accel_counts])
+    for ds_name in datasets:
+        ds = dataset(ds_name)
+        for model in MODELS:
+            cfg = paper_config(model)
+            times = []
+            for n in accel_counts:
+                system = _hyscale(ds, factory(n), cfg)
+                times.append(system.predicted_epoch_time())
+            speedups = [times[0] / t for t in times]
+            res.add_row(ds_name, model, *speedups)
+    res.notes.append("paper: near-linear to ~12 accelerators, then "
+                     "host-DDR saturation; products+GCN PCIe-bound")
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — performance-model accuracy
+# ---------------------------------------------------------------------------
+
+def run_perfmodel_accuracy(accel_counts=(1, 2, 3, 4),
+                           dataset_name: str = "mag240m"
+                           ) -> ExperimentResult:
+    """Predicted vs simulated-actual epoch time (paper Fig. 8:
+    MAG240M, 1-4 FPGAs, GCN and GraphSAGE; 5-14% error)."""
+    ds = dataset(dataset_name)
+    res = ExperimentResult(
+        title=f"Fig. 8 - Predicted vs actual epoch time "
+              f"({dataset_name}, CPU-FPGA)",
+        columns=["model", "num FPGAs", "actual (s)", "predicted (s)",
+                 "error %"])
+    for model in MODELS:
+        for n in accel_counts:
+            cfg = paper_config(model)
+            system = _hyscale(ds, hyscale_cpu_fpga_platform(n), cfg)
+            actual = system.simulate_epoch().epoch_time_s
+            predicted = system.predicted_epoch_time()
+            err = (actual - predicted) / actual * 100.0
+            res.add_row(model, n, actual, predicted, err)
+    res.notes.append("paper: prediction error 5-14% on average")
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Tables VI / VII — state-of-the-art comparison
+# ---------------------------------------------------------------------------
+
+def run_sota_comparison() -> tuple[ExperimentResult, ExperimentResult]:
+    """Ours (4 FPGAs, single node) vs PaGraph / P3 / DistDGLv2.
+
+    Model configs match each comparator (paper §VI-E2 / Table V):
+    PaGraph (25,10)x256, P3 (25,10)x32, DistDGLv2 (15,10,5)x256
+    (SAGE only, as in Table VI).
+    """
+    t6 = ExperimentResult(
+        title="Table VI - Epoch time (s) vs state-of-the-art",
+        columns=["comparison", "dataset", "model", "theirs (s)",
+                 "ours (s)", "speedup"])
+    t7 = ExperimentResult(
+        title="Table VII - Normalized epoch time (s x TFLOPS)",
+        columns=["comparison", "dataset", "model", "theirs",
+                 "ours", "speedup"])
+    ours_platform = hyscale_cpu_fpga_platform(4)
+    ours_tflops = ours_platform.total_peak_tflops
+
+    speedups6: dict[str, list[float]] = {}
+    speedups7: dict[str, list[float]] = {}
+
+    def add(comp_name, comp_report, comp_tflops, ds, cfg):
+        ours = _hyscale(ds, ours_platform, cfg)
+        t_ours = ours.simulate_epoch().epoch_time_s
+        sp = comp_report.epoch_time_s / t_ours
+        t6.add_row(comp_name, ds.name, cfg.model,
+                   comp_report.epoch_time_s, t_ours, sp)
+        speedups6.setdefault(comp_name, []).append(sp)
+        theirs_norm = comp_report.epoch_time_s * comp_tflops
+        ours_norm = t_ours * ours_tflops
+        t7.add_row(comp_name, ds.name, cfg.model, theirs_norm,
+                   ours_norm, theirs_norm / ours_norm)
+        speedups7.setdefault(comp_name, []).append(
+            theirs_norm / ours_norm)
+
+    for ds_name in ("ogbn-products", "ogbn-papers100M"):
+        ds = dataset(ds_name)
+        for model in MODELS:
+            # vs PaGraph: (25, 10), hidden 256.
+            cfg = paper_config(model)
+            add("vs PaGraph", PaGraphSystem(ds, cfg).report(),
+                pagraph_node().total_peak_tflops, ds, cfg)
+            # vs P3: (25, 10), hidden 32.
+            cfg32 = paper_config(model, hidden_dim=32)
+            add("vs P3", P3System(ds, cfg32).report(),
+                p3_node().total_peak_tflops, ds, cfg32)
+            # vs DistDGLv2: (15, 10, 5), hidden 256, SAGE only.
+            if model == "sage":
+                cfgd = paper_config(model, fanouts=(15, 10, 5))
+                add("vs DistDGLv2", DistDGLv2System(ds, cfgd).report(),
+                    distdgl_node().total_peak_tflops, ds, cfgd)
+
+    for comp, sps in speedups6.items():
+        t6.notes.append(f"{comp}: geo-mean speedup {geomean(sps):.2f}x")
+    for comp, sps in speedups7.items():
+        t7.notes.append(f"{comp}: geo-mean normalized speedup "
+                        f"{geomean(sps):.1f}x")
+    t6.notes.append("paper geo-means: PaGraph 1.76x, P3 4.57x, "
+                    "DistDGLv2 0.45x")
+    t7.notes.append("paper geo-means: 21x / 71x / 25x")
+    return t6, t7

@@ -1,0 +1,85 @@
+"""Formatting and aggregation helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigError
+
+
+@dataclass
+class ExperimentResult:
+    """A generic result container: named rows of named values."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigError(
+                f"row has {len(values)} values, expected "
+                f"{len(self.columns)}")
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        idx = self.columns.index(name)
+        return [r[idx] for r in self.rows]
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows,
+                            self.notes)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 100:
+            return f"{v:.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence], notes: Sequence[str] = ()
+                 ) -> str:
+    """Render an ASCII table in the paper's row layout."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(c)
+              for i, c in enumerate(columns)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(columns,
+                                                       widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row,
+                                                           widths)))
+    for n in notes:
+        lines.append(f"  note: {n}")
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, xs: Sequence,
+                  series: dict[str, Sequence[float]]) -> str:
+    """Render figure-style series (one column per x value)."""
+    columns = [x_label] + [_fmt(x) for x in xs]
+    rows = [[name] + [v for v in values]
+            for name, values in series.items()]
+    return format_table(title, columns, rows)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's Table VI/VII aggregate)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        raise ConfigError("geomean needs positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,166 @@
+"""Configuration objects shared across the library.
+
+Two configuration layers exist:
+
+* :class:`TrainingConfig` — the GNN training algorithm parameters (model,
+  fanouts, mini-batch size, learning rate, ...). These mirror the paper's
+  §VI-A2 setup: two-layer models, hidden dim 256, mini-batch 1024, neighbor
+  fanouts (25, 10).
+* :class:`SystemConfig` — HyScale-GNN system feature flags used by the
+  runtime and by the Fig. 11 ablation: hybrid execution, DRM, and two-stage
+  feature prefetching (TFP).
+
+Validation is eager: constructing an invalid config raises
+:class:`repro.errors.ConfigError` immediately rather than failing deep inside
+the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from .errors import ConfigError
+
+#: Feature element size in bytes (single-precision float, paper §V).
+S_FEAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Algorithmic parameters of a mini-batch GNN training run.
+
+    Attributes
+    ----------
+    model:
+        ``"gcn"`` or ``"sage"`` — the two models evaluated in the paper.
+    minibatch_size:
+        Number of target vertices per mini-batch *per trainer* (paper: 1024).
+    fanouts:
+        Neighbor-sampling sizes per hop, target-side first (paper: (25, 10)
+        means 25 neighbors at the first hop from targets, 10 at the second).
+    hidden_dim:
+        Hidden feature length f^1 (paper: 256).
+    learning_rate:
+        SGD step size.
+    epochs:
+        Number of passes over the training vertex set.
+    seed:
+        Base RNG seed; all randomness in the library derives from it.
+    """
+
+    model: str = "sage"
+    minibatch_size: int = 1024
+    fanouts: tuple[int, ...] = (25, 10)
+    hidden_dim: int = 256
+    learning_rate: float = 0.01
+    epochs: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.model not in ("gcn", "sage"):
+            raise ConfigError(f"unknown model {self.model!r}; "
+                              "expected 'gcn' or 'sage'")
+        if self.minibatch_size <= 0:
+            raise ConfigError("minibatch_size must be positive")
+        if len(self.fanouts) == 0:
+            raise ConfigError("fanouts must contain at least one hop")
+        if any(f <= 0 for f in self.fanouts):
+            raise ConfigError("every fanout must be positive")
+        if self.hidden_dim <= 0:
+            raise ConfigError("hidden_dim must be positive")
+        if not (0.0 < self.learning_rate < 1e3):
+            raise ConfigError("learning_rate out of range")
+        if self.epochs <= 0:
+            raise ConfigError("epochs must be positive")
+
+    @property
+    def num_layers(self) -> int:
+        """Number of GNN layers L (== number of sampling hops)."""
+        return len(self.fanouts)
+
+    def with_updates(self, **kwargs) -> "TrainingConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """HyScale-GNN system feature flags (the Fig. 11 ablation axes).
+
+    Attributes
+    ----------
+    hybrid:
+        Use the CPU as a trainer alongside the accelerators. ``False``
+        reproduces the "Baseline" bar of Fig. 11 (CPU only samples/loads).
+    drm:
+        Enable the Dynamic Resource Management engine (paper Algorithm 1).
+        Requires ``hybrid``.
+    prefetch:
+        Enable Two-stage Feature Prefetching (paper §IV-B). When off, the
+        four stages of an iteration execute back-to-back (serialized).
+    prefetch_depth:
+        Mini-batches of look-ahead per accelerator (paper Fig. 7 shows 2:
+        one being transferred, one being loaded).
+    drm_work_step:
+        Fraction of a trainer's mini-batch quota moved by one
+        ``balance_work`` call.
+    drm_thread_step:
+        Number of CPU threads moved by one ``balance_thread`` call.
+    transfer_precision:
+        Feature precision on the PCIe link: ``"fp32"`` (paper default),
+        ``"fp16"`` or ``"int8"`` — the paper's §VIII future-work
+        quantization extension (see :mod:`repro.runtime.quantize`).
+    """
+
+    hybrid: bool = True
+    drm: bool = True
+    prefetch: bool = True
+    prefetch_depth: int = 2
+    drm_work_step: float = 0.125
+    drm_thread_step: int = 2
+    transfer_precision: str = "fp32"
+
+    def __post_init__(self) -> None:
+        if self.drm and not self.hybrid:
+            raise ConfigError("DRM requires hybrid training "
+                              "(there is no workload split to balance)")
+        if self.prefetch_depth < 1:
+            raise ConfigError("prefetch_depth must be >= 1")
+        if not (0.0 < self.drm_work_step <= 0.5):
+            raise ConfigError("drm_work_step must be in (0, 0.5]")
+        if self.drm_thread_step < 1:
+            raise ConfigError("drm_thread_step must be >= 1")
+        if self.transfer_precision not in ("fp32", "fp16", "int8"):
+            raise ConfigError(
+                f"unknown transfer_precision "
+                f"{self.transfer_precision!r}")
+
+    def with_updates(self, **kwargs) -> "SystemConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The four ablation presets of paper Fig. 11, in paper order.
+ABLATION_PRESETS: dict[str, SystemConfig] = {
+    "baseline": SystemConfig(hybrid=False, drm=False, prefetch=False),
+    "hybrid_static": SystemConfig(hybrid=True, drm=False, prefetch=False),
+    "hybrid_drm": SystemConfig(hybrid=True, drm=True, prefetch=False),
+    "hybrid_drm_tfp": SystemConfig(hybrid=True, drm=True, prefetch=True),
+}
+
+
+def layer_dims(input_dim: int, hidden_dim: int, output_dim: int,
+               num_layers: int) -> tuple[int, ...]:
+    """Feature lengths (f^0, ..., f^L) for an L-layer model.
+
+    Matches Table III: f^0 = input features, f^L = classes, all intermediate
+    layers share ``hidden_dim``.
+    """
+    if num_layers < 1:
+        raise ConfigError("num_layers must be >= 1")
+    if min(input_dim, hidden_dim, output_dim) <= 0:
+        raise ConfigError("all dimensions must be positive")
+    if num_layers == 1:
+        return (input_dim, output_dim)
+    return (input_dim,) + (hidden_dim,) * (num_layers - 1) + (output_dim,)

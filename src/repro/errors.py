@@ -1,0 +1,47 @@
+"""Exception hierarchy for the HyScale-GNN reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors elsewhere.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation."""
+
+
+class GraphError(ReproError):
+    """An operation on a graph structure was invalid."""
+
+
+class SamplingError(ReproError):
+    """A mini-batch sampler was misused or produced an invalid batch."""
+
+
+class ShapeError(ReproError):
+    """An array had an unexpected shape or dtype."""
+
+
+class DeviceError(ReproError):
+    """A hardware-model operation was invalid (capacity, topology, ...)."""
+
+
+class CapacityError(DeviceError):
+    """A memory allocation exceeded the modelled device capacity."""
+
+
+class ProtocolError(ReproError):
+    """The processor-accelerator training protocol was violated."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class ConvergenceError(ReproError):
+    """Training failed to make expected progress (used by examples/benches)."""

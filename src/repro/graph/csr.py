@@ -1,0 +1,239 @@
+"""Compressed-sparse-row graph storage.
+
+:class:`CSRGraph` stores a directed graph as ``(indptr, indices)`` arrays in
+the usual CSR convention: the out-neighbors of vertex ``v`` are
+``indices[indptr[v]:indptr[v + 1]]``. For GNN aggregation we usually need
+*in*-neighbors (messages flow source → destination), so the structure can
+lazily build and cache its transpose.
+
+Design notes (following the hpc-parallel guides):
+
+* all hot paths are vectorized NumPy; no per-edge Python loops;
+* arrays are C-contiguous and use the smallest safe integer dtype;
+* neighbor access returns *views* into ``indices`` — never copies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import GraphError
+
+
+def _as_index_array(a, name: str) -> np.ndarray:
+    arr = np.ascontiguousarray(a)
+    if arr.ndim != 1:
+        raise GraphError(f"{name} must be 1-D, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise GraphError(f"{name} must be an integer array, got {arr.dtype}")
+    return arr.astype(np.int64, copy=False)
+
+
+class CSRGraph:
+    """Directed graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``(num_vertices + 1,)`` monotone array of row offsets.
+    indices:
+        ``(num_edges,)`` array of destination vertices, grouped by source.
+    num_vertices:
+        Optional explicit vertex count; defaults to ``len(indptr) - 1``.
+
+    Raises
+    ------
+    GraphError
+        If the arrays do not form a valid CSR structure.
+    """
+
+    __slots__ = ("indptr", "indices", "num_vertices", "_transpose",
+                 "_out_degrees")
+
+    def __init__(self, indptr, indices, num_vertices: int | None = None):
+        self.indptr = _as_index_array(indptr, "indptr")
+        self.indices = _as_index_array(indices, "indices")
+        if self.indptr.size == 0:
+            raise GraphError("indptr must have at least one element")
+        n = self.indptr.size - 1
+        if num_vertices is not None and num_vertices != n:
+            raise GraphError(
+                f"num_vertices={num_vertices} inconsistent with indptr "
+                f"(implies {n})")
+        self.num_vertices = n
+        if self.indptr[0] != 0:
+            raise GraphError("indptr[0] must be 0")
+        if self.indptr[-1] != self.indices.size:
+            raise GraphError(
+                f"indptr[-1]={self.indptr[-1]} must equal "
+                f"len(indices)={self.indices.size}")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if self.indices.size and (self.indices.min() < 0
+                                  or self.indices.max() >= n):
+            raise GraphError("edge endpoint out of range")
+        self._transpose: CSRGraph | None = None
+        self._out_degrees: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, src, dst, num_vertices: int,
+                   dedup: bool = False) -> "CSRGraph":
+        """Build a CSR graph from parallel ``src``/``dst`` edge arrays.
+
+        Parameters
+        ----------
+        src, dst:
+            Edge endpoint arrays of equal length.
+        num_vertices:
+            Total vertex count (endpoints must be < this).
+        dedup:
+            Drop duplicate ``(src, dst)`` pairs when True.
+        """
+        src = _as_index_array(src, "src")
+        dst = _as_index_array(dst, "dst")
+        if src.size != dst.size:
+            raise GraphError("src and dst must have equal length")
+        if num_vertices <= 0:
+            raise GraphError("num_vertices must be positive")
+        if src.size and (min(src.min(), dst.min()) < 0
+                         or max(src.max(), dst.max()) >= num_vertices):
+            raise GraphError("edge endpoint out of range")
+        if dedup and src.size:
+            keys = src * np.int64(num_vertices) + dst
+            _, keep = np.unique(keys, return_index=True)
+            src, dst = src[keep], dst[keep]
+        order = np.argsort(src, kind="stable")
+        src_sorted = src[order]
+        indices = np.ascontiguousarray(dst[order])
+        counts = np.bincount(src_sorted, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, indices)
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "CSRGraph":
+        """Graph with ``num_vertices`` vertices and no edges."""
+        if num_vertices <= 0:
+            raise GraphError("num_vertices must be positive")
+        return cls(np.zeros(num_vertices + 1, dtype=np.int64),
+                   np.zeros(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.indices.size)
+
+    def out_degree(self, v: int | np.ndarray) -> np.ndarray | int:
+        """Out-degree of one vertex or an array of vertices."""
+        return self.indptr[np.asarray(v) + 1] - self.indptr[np.asarray(v)]
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (cached)."""
+        if self._out_degrees is None:
+            self._out_degrees = np.diff(self.indptr)
+        return self._out_degrees
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` as a view into ``indices`` (no copy)."""
+        if not 0 <= v < self.num_vertices:
+            raise GraphError(f"vertex {v} out of range")
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    @property
+    def avg_degree(self) -> float:
+        """Average out-degree."""
+        return self.num_edges / self.num_vertices
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(src, dst)`` COO arrays (src is materialized)."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64),
+                        self.out_degrees)
+        return src, self.indices.copy()
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRGraph":
+        """Graph with all edges reversed (cached after first call).
+
+        The transpose is the CSC view of this graph: its ``neighbors(v)``
+        are the *in*-neighbors of ``v`` here, which is what GNN aggregation
+        consumes.
+        """
+        if self._transpose is None:
+            src, dst = self.edges()
+            self._transpose = CSRGraph.from_edges(
+                dst, src, self.num_vertices)
+        return self._transpose
+
+    def symmetrize(self) -> "CSRGraph":
+        """Return the graph with every edge present in both directions.
+
+        Duplicate edges are coalesced. Mirrors the usual OGB preprocessing
+        of treating citation/product graphs as undirected.
+        """
+        src, dst = self.edges()
+        return CSRGraph.from_edges(
+            np.concatenate([src, dst]),
+            np.concatenate([dst, src]),
+            self.num_vertices,
+            dedup=True,
+        )
+
+    def with_self_loops(self) -> "CSRGraph":
+        """Return the graph with a self-loop added to every vertex.
+
+        GCN's aggregation includes the vertex itself (paper Eq. 1 aggregates
+        over ``N(v) ∪ {v}``); self-loops realize that in the adjacency.
+        Existing duplicate edges (including existing self-loops) are
+        coalesced.
+        """
+        src, dst = self.edges()
+        loop = np.arange(self.num_vertices, dtype=np.int64)
+        return CSRGraph.from_edges(
+            np.concatenate([src, loop]),
+            np.concatenate([dst, loop]),
+            self.num_vertices,
+            dedup=True,
+        )
+
+    def subgraph_edges(self, vertices: Iterable[int]) -> int:
+        """Number of edges with *both* endpoints in ``vertices``.
+
+        Used by partition-quality metrics; vectorized membership test.
+        """
+        mask = np.zeros(self.num_vertices, dtype=bool)
+        mask[np.asarray(list(vertices), dtype=np.int64)] = True
+        src, dst = self.edges()
+        return int(np.count_nonzero(mask[src] & mask[dst]))
+
+    # ------------------------------------------------------------------
+    # Memory accounting (for the hw/memory model)
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Bytes of topology storage (indptr + indices)."""
+        return int(self.indptr.nbytes + self.indices.nbytes)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CSRGraph(num_vertices={self.num_vertices}, "
+                f"num_edges={self.num_edges})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (np.array_equal(self.indptr, other.indptr)
+                and np.array_equal(self.indices, other.indices))
+
+    def __hash__(self) -> int:  # structures are mutable-array backed
+        raise TypeError("CSRGraph is not hashable")

@@ -1,0 +1,85 @@
+"""Device/host memory capacity accounting.
+
+HyScale-GNN's core motivation (paper §I) is that device memory (16-64 GB)
+cannot hold large-graph feature matrices (MAG240M: 202 GB), so the graph
+must live in CPU memory. :class:`MemoryPool` models exactly that
+constraint: named allocations against a fixed capacity, raising
+:class:`repro.errors.CapacityError` on overflow. The PaGraph baseline uses
+it to size its feature cache; tests use it to verify the paper's
+"papers100M does not fit on a GPU" premise quantitatively.
+"""
+
+from __future__ import annotations
+
+from ..errors import CapacityError, DeviceError
+
+
+class MemoryPool:
+    """Byte-granular allocator model (no addresses, just budgets)."""
+
+    def __init__(self, capacity_bytes: int, name: str = "mem") -> None:
+        if capacity_bytes <= 0:
+            raise DeviceError("capacity must be positive")
+        self.capacity = int(capacity_bytes)
+        self.name = name
+        self._allocs: dict[str, int] = {}
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return sum(self._allocs.values())
+
+    @property
+    def free(self) -> int:
+        """Bytes remaining."""
+        return self.capacity - self.used
+
+    def alloc(self, label: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``label``.
+
+        Raises
+        ------
+        CapacityError
+            If the pool cannot hold the allocation.
+        DeviceError
+            If the label is already in use.
+        """
+        if nbytes < 0:
+            raise DeviceError("nbytes must be non-negative")
+        if label in self._allocs:
+            raise DeviceError(f"label {label!r} already allocated")
+        if nbytes > self.free:
+            raise CapacityError(
+                f"{self.name}: cannot allocate {nbytes / 1e9:.2f} GB "
+                f"({self.free / 1e9:.2f} GB free of "
+                f"{self.capacity / 1e9:.2f} GB)")
+        self._allocs[label] = int(nbytes)
+
+    def resize(self, label: str, nbytes: int) -> None:
+        """Change an existing allocation's size."""
+        if label not in self._allocs:
+            raise DeviceError(f"unknown label {label!r}")
+        old = self._allocs.pop(label)
+        try:
+            self.alloc(label, nbytes)
+        except CapacityError:
+            self._allocs[label] = old
+            raise
+
+    def release(self, label: str) -> int:
+        """Free an allocation; returns the bytes released."""
+        if label not in self._allocs:
+            raise DeviceError(f"unknown label {label!r}")
+        return self._allocs.pop(label)
+
+    def fits(self, nbytes: int) -> bool:
+        """Would an allocation of ``nbytes`` succeed right now?"""
+        return 0 <= nbytes <= self.free
+
+    def allocations(self) -> dict[str, int]:
+        """Snapshot of current allocations."""
+        return dict(self._allocs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"MemoryPool({self.name}: {self.used / 1e9:.2f}/"
+                f"{self.capacity / 1e9:.2f} GB used)")

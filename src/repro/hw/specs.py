@@ -1,0 +1,302 @@
+"""Device and link specifications.
+
+The HyScale-GNN devices carry the exact Table II numbers; comparator
+devices (Table V platforms) carry their public datasheet numbers. All
+calibration constants are named fields documented here — see DESIGN.md §6.
+
+Efficiency-knob semantics
+-------------------------
+``mlp_efficiency``
+    Achievable fraction of ``peak_tflops`` on the dense feature-update
+    GEMMs. Mini-batch GEMMs are small/skinny, so this sits well below 1.
+``gather_inefficiency``
+    Multiplier on the *ideal* aggregation traffic ``|E| × f × S_feat``.
+    For GPUs running PyG-style execution this covers (a) cache-line waste
+    on random source gathers and (b) the materialized edge tensors of the
+    gather → message → scatter op sequence, each of which re-reads and
+    re-writes E×f floats (mechanism per paper cite [33]). CPUs sit lower:
+    the 256 MB L3 captures hub vertices.
+``intermediate_spill``
+    Whether aggregation results round-trip through device memory between
+    the aggregate and update stages. True on CPU/GPU; False on FPGA, whose
+    custom datapath keeps intermediates on chip (paper §IV-C: "only the
+    final output is written back to the memory").
+``pipelined_agg_update``
+    Whether aggregate and update overlap within a layer — the ⊕ operator
+    of paper Eq. 10: max when pipelined (FPGA), sum otherwise.
+``kernel_launch_s``
+    Per-kernel-launch host latency. Charged by the event simulator only
+    (it is one of the two predicted-vs-actual gaps the paper names in
+    §VI-C).
+``pipeline_flush_frac``
+    Fractional propagation-time overhead from draining the device's
+    execution pipeline between batches — the second predicted-vs-actual
+    gap the paper names in §VI-C (cite [32]). Largest on the FPGA's deep
+    dataflow pipeline. Charged by the event simulator only.
+``framework_overhead_s``
+    Fixed software-stack cost per training pass (forward + backward) of
+    one mini-batch. For GPU trainers this models the PyTorch/PyG op
+    dispatch stack (~10² small kernel launches and autograd bookkeeping
+    per 2-layer batch) — the well-documented reason GPU utilization is
+    low on neighbor-sampled mini-batches. The FPGA pass is two
+    ``enqueueTask`` calls on a fused kernel, so its overhead is an order
+    of magnitude lower; HyScale's CPU trainer is custom pthread/MKL code,
+    in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One processor or accelerator model.
+
+    Bandwidth figures are *effective* burst bandwidths (paper §V note), in
+    GB/s; ``peak_tflops`` is single-precision peak.
+    """
+
+    name: str
+    kind: str                      # "cpu" | "gpu" | "fpga"
+    peak_tflops: float
+    mem_bandwidth_gbps: float      # local memory (HBM/DDR/host-RAM share)
+    frequency_ghz: float
+    onchip_memory_mb: float        # L3 / L2 / URAM+BRAM
+    device_memory_gb: float        # attached DRAM capacity
+    mlp_efficiency: float
+    gather_inefficiency: float
+    intermediate_spill: bool
+    pipelined_agg_update: bool
+    kernel_launch_s: float
+    framework_overhead_s: float = 0.0
+    pipeline_flush_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cpu", "gpu", "fpga"):
+            raise ConfigError(f"unknown device kind {self.kind!r}")
+        if min(self.peak_tflops, self.mem_bandwidth_gbps,
+               self.frequency_ghz) <= 0:
+            raise ConfigError("spec rates must be positive")
+        if not 0.0 < self.mlp_efficiency <= 1.0:
+            raise ConfigError("mlp_efficiency must be in (0, 1]")
+        if self.gather_inefficiency < 1.0:
+            raise ConfigError("gather_inefficiency must be >= 1")
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s."""
+        return self.peak_tflops * 1e12
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Effective local memory bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbps * 1e9
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point interconnect (PCIe slot or node-to-node network).
+
+    ``duplex_derate`` models the throughput loss when both directions
+    are active simultaneously (host-to-device feature pushes overlapping
+    device-to-host gradient pulls under pipelining; DMA-engine and
+    root-complex contention). The analytic performance model (paper
+    Eq. 6-13) ignores it — it is one of the simulated-actual effects
+    behind the Fig. 8 prediction error.
+    """
+
+    name: str
+    bandwidth_gbps: float    # effective GB/s
+    latency_s: float         # per-transfer fixed cost
+    duplex_derate: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ConfigError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ConfigError("latency must be non-negative")
+        if not 0.0 <= self.duplex_derate < 1.0:
+            raise ConfigError("duplex_derate must be in [0, 1)")
+
+    @property
+    def bandwidth(self) -> float:
+        """Effective bandwidth in bytes/s."""
+        return self.bandwidth_gbps * 1e9
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` over this link."""
+        if nbytes < 0:
+            raise ConfigError("nbytes must be non-negative")
+        return self.latency_s + nbytes / self.bandwidth
+
+
+# ---------------------------------------------------------------------------
+# HyScale-GNN testbed devices (paper Table II)
+# ---------------------------------------------------------------------------
+
+#: One socket of the dual-socket host. Table II lists 3.6 TFLOPS per socket
+#: (the intro's 7.2 TFLOPS is the dual-socket figure) and 205 GB/s of DDR4
+#: bandwidth per socket.
+AMD_EPYC_7763 = DeviceSpec(
+    name="AMD EPYC 7763",
+    kind="cpu",
+    peak_tflops=3.6,
+    mem_bandwidth_gbps=205.0,
+    frequency_ghz=2.45,
+    onchip_memory_mb=256.0,
+    device_memory_gb=1024.0,          # host RAM per socket (2 TB node)
+    mlp_efficiency=0.40,
+    gather_inefficiency=3.0,
+    intermediate_spill=True,
+    pipelined_agg_update=False,
+    kernel_launch_s=0.0,              # CPU tasks have no launch latency
+    framework_overhead_s=0.5e-3,      # custom pthread/MKL trainer
+)
+
+NVIDIA_A5000 = DeviceSpec(
+    name="NVIDIA RTX A5000",
+    kind="gpu",
+    peak_tflops=27.8,
+    mem_bandwidth_gbps=768.0,
+    frequency_ghz=2.0,
+    onchip_memory_mb=6.0,
+    device_memory_gb=24.0,
+    mlp_efficiency=0.35,
+    gather_inefficiency=12.0,         # fwd gather/scatter + atomic-heavy bwd
+    intermediate_spill=True,
+    pipelined_agg_update=False,
+    kernel_launch_s=30e-6,
+    framework_overhead_s=8.0e-3,      # PyTorch/PyG dispatch per batch
+    pipeline_flush_frac=0.03,         # per-kernel tail effects
+)
+
+XILINX_U250 = DeviceSpec(
+    name="Xilinx Alveo U250",
+    kind="fpga",
+    peak_tflops=0.6,
+    mem_bandwidth_gbps=77.0,
+    frequency_ghz=0.30,
+    onchip_memory_mb=54.0,
+    device_memory_gb=64.0,
+    mlp_efficiency=0.90,              # systolic array utilization
+    gather_inefficiency=1.0,          # Feature Duplicator: each read once
+    intermediate_spill=False,
+    pipelined_agg_update=True,
+    kernel_launch_s=150e-6,           # OpenCL enqueueTask overhead
+    framework_overhead_s=0.3e-3,      # two enqueueTask + DMA setup
+    pipeline_flush_frac=0.08,         # deep dataflow pipeline drain
+)
+
+# ---------------------------------------------------------------------------
+# Comparator devices (paper Table V platforms)
+# ---------------------------------------------------------------------------
+
+NVIDIA_V100 = DeviceSpec(
+    name="NVIDIA V100",
+    kind="gpu",
+    peak_tflops=15.7,
+    mem_bandwidth_gbps=900.0,
+    frequency_ghz=1.53,
+    onchip_memory_mb=6.0,
+    device_memory_gb=16.0,
+    mlp_efficiency=0.35,
+    gather_inefficiency=12.0,         # fwd gather/scatter + atomic-heavy bwd
+    intermediate_spill=True,
+    pipelined_agg_update=False,
+    kernel_launch_s=30e-6,
+    framework_overhead_s=8.0e-3,      # PyTorch/PyG dispatch per batch
+    pipeline_flush_frac=0.03,         # per-kernel tail effects
+)
+
+NVIDIA_P100 = DeviceSpec(
+    name="NVIDIA P100",
+    kind="gpu",
+    peak_tflops=9.3,
+    mem_bandwidth_gbps=732.0,
+    frequency_ghz=1.33,
+    onchip_memory_mb=4.0,
+    device_memory_gb=16.0,
+    mlp_efficiency=0.35,
+    gather_inefficiency=12.0,         # fwd gather/scatter + atomic-heavy bwd
+    intermediate_spill=True,
+    pipelined_agg_update=False,
+    kernel_launch_s=30e-6,
+    framework_overhead_s=8.0e-3,      # PyTorch/PyG dispatch per batch
+    pipeline_flush_frac=0.03,         # per-kernel tail effects
+)
+
+NVIDIA_T4 = DeviceSpec(
+    name="NVIDIA T4",
+    kind="gpu",
+    peak_tflops=8.1,
+    mem_bandwidth_gbps=320.0,
+    frequency_ghz=1.59,
+    onchip_memory_mb=4.0,
+    device_memory_gb=16.0,
+    mlp_efficiency=0.35,
+    gather_inefficiency=12.0,         # fwd gather/scatter + atomic-heavy bwd
+    intermediate_spill=True,
+    pipelined_agg_update=False,
+    kernel_launch_s=30e-6,
+    framework_overhead_s=8.0e-3,      # PyTorch/PyG dispatch per batch
+    pipeline_flush_frac=0.03,         # per-kernel tail effects
+)
+
+XEON_PLATINUM_8163 = DeviceSpec(
+    name="Intel Xeon Platinum 8163",
+    kind="cpu",
+    peak_tflops=1.9,
+    mem_bandwidth_gbps=110.0,
+    frequency_ghz=2.5,
+    onchip_memory_mb=33.0,
+    device_memory_gb=512.0,
+    mlp_efficiency=0.40,
+    gather_inefficiency=3.0,
+    intermediate_spill=True,
+    pipelined_agg_update=False,
+    kernel_launch_s=0.0,
+    framework_overhead_s=2.0e-3,      # DGL/PyTorch CPU stack
+)
+
+XEON_E5_2690 = DeviceSpec(
+    name="Intel Xeon E5-2690",
+    kind="cpu",
+    peak_tflops=0.37,
+    mem_bandwidth_gbps=60.0,
+    frequency_ghz=2.9,
+    onchip_memory_mb=20.0,
+    device_memory_gb=256.0,
+    mlp_efficiency=0.40,
+    gather_inefficiency=3.0,
+    intermediate_spill=True,
+    pipelined_agg_update=False,
+    kernel_launch_s=0.0,
+    framework_overhead_s=2.0e-3,      # DGL/PyTorch CPU stack
+)
+
+# ---------------------------------------------------------------------------
+# Links
+# ---------------------------------------------------------------------------
+
+#: PCIe 4.0 ×16 — the HyScale testbed. 16 GB/s is the effective burst
+#: bandwidth (peak 31.5 GB/s); paper §V: "effective bandwidth ... as
+#: opposed to the peak bandwidth".
+LINK_PCIE4_X16 = LinkSpec(name="PCIe 4.0 x16", bandwidth_gbps=16.0,
+                          latency_s=10e-6)
+
+#: PCIe 3.0 ×16 — the PaGraph / P3 / DistDGL era platforms.
+LINK_PCIE3_X16 = LinkSpec(name="PCIe 3.0 x16", bandwidth_gbps=10.0,
+                          latency_s=10e-6)
+
+#: 100 Gb Ethernet, effective ~10 GB/s (inter-node links of the
+#: distributed comparators).
+LINK_NETWORK_100G = LinkSpec(name="100GbE", bandwidth_gbps=10.0,
+                             latency_s=30e-6)
+
+#: Feature Loader DDR gather efficiency: row gathers from host memory
+#: achieve a fraction of streaming bandwidth (feature rows are hundreds of
+#: bytes, shorter than ideal DDR bursts).
+LOADER_DDR_EFFICIENCY = 0.8

@@ -1,0 +1,56 @@
+"""Logging helpers.
+
+The library never configures the root logger; it only creates namespaced
+children under ``"repro"`` so applications keep full control of handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix, e.g. ``"runtime.drm"``. ``None`` returns the package
+        root logger.
+    """
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+@contextmanager
+def log_duration(logger: logging.Logger, label: str,
+                 level: int = logging.DEBUG) -> Iterator[None]:
+    """Context manager that logs wall-clock duration of the enclosed block."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        logger.log(level, "%s took %.6f s", label, elapsed)
+
+
+def enable_debug_logging() -> None:
+    """Attach a stderr handler at DEBUG level to the package root logger.
+
+    Convenience for examples and ad-hoc debugging; idempotent.
+    """
+    logger = get_logger()
+    if any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        logger.setLevel(logging.DEBUG)
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG)

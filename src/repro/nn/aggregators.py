@@ -1,0 +1,141 @@
+"""Sparse feature aggregation (paper Eq. 1).
+
+Feature aggregation is the irregular-memory-access phase of GNN training
+(paper §II-A). Two implementations are provided:
+
+* :class:`SparseAggregator` — a SciPy CSR sparse-matmul path. This is the
+  production path: one BLAS-like spmm per layer for forward and one
+  (transposed) for backward.
+* :func:`segment_sum_aggregate` — a pure-NumPy scatter-add path that mirrors
+  the FPGA scatter-gather kernel's edge-serial execution (paper §IV-C,
+  Fig. 6). Tests assert both paths agree to floating-point tolerance; the
+  hardware kernel models reuse this path's edge ordering to count traffic.
+
+Weight helpers produce the edge coefficient vectors for the two models:
+:func:`gcn_edge_weights` implements the symmetric ``1/sqrt(D(u)D(v))``
+normalization of paper Eq. 3, :func:`mean_edge_weights` the neighbor-mean
+of paper Eq. 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ShapeError
+from ..sampling.base import LayerBlock
+
+
+class SparseAggregator:
+    """Weighted sum aggregation ``A = S @ H`` for one layer block.
+
+    ``S`` is the ``(num_dst, num_src)`` sparse matrix with
+    ``S[dst, src] = w(edge)``; duplicate ``(dst, src)`` entries are summed
+    (scipy semantics), which matches multi-edge aggregation.
+
+    The transpose matmul used by the backward pass is cached.
+    """
+
+    def __init__(self, block: LayerBlock,
+                 edge_weights: np.ndarray | None = None) -> None:
+        if edge_weights is None:
+            edge_weights = np.ones(block.num_edges, dtype=np.float64)
+        edge_weights = np.asarray(edge_weights, dtype=np.float64)
+        if edge_weights.shape != (block.num_edges,):
+            raise ShapeError("edge_weights must have one entry per edge")
+        self.block = block
+        self.matrix = sp.csr_matrix(
+            (edge_weights, (block.dst_local, block.src_local)),
+            shape=(block.num_dst, block.num_src))
+        self._matrix_t = self.matrix.T.tocsr()
+
+    def forward(self, h_src: np.ndarray) -> np.ndarray:
+        """Aggregate source features into destination rows."""
+        if h_src.shape[0] != self.block.num_src:
+            raise ShapeError(
+                f"expected {self.block.num_src} source rows, "
+                f"got {h_src.shape[0]}")
+        return self.matrix @ h_src
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. source features: ``S^T @ dA``."""
+        if grad_out.shape[0] != self.block.num_dst:
+            raise ShapeError(
+                f"expected {self.block.num_dst} dest rows, "
+                f"got {grad_out.shape[0]}")
+        return self._matrix_t @ grad_out
+
+
+def segment_sum_aggregate(block: LayerBlock, h_src: np.ndarray,
+                          edge_weights: np.ndarray | None = None
+                          ) -> np.ndarray:
+    """Edge-serial scatter-add aggregation (FPGA-kernel-equivalent path).
+
+    Processes edges in source-sorted order — the order the Feature
+    Duplicator streams them (paper §IV-C) — accumulating into destination
+    rows. Functionally identical to :class:`SparseAggregator.forward`.
+    """
+    if h_src.shape[0] != block.num_src:
+        raise ShapeError("source feature row count mismatch")
+    order = np.argsort(block.src_local, kind="stable")
+    src = block.src_local[order]
+    dst = block.dst_local[order]
+    messages = h_src[src]
+    if edge_weights is not None:
+        edge_weights = np.asarray(edge_weights, dtype=np.float64)
+        if edge_weights.shape != (block.num_edges,):
+            raise ShapeError("edge_weights must have one entry per edge")
+        messages = messages * edge_weights[order][:, None]
+    out = np.zeros((block.num_dst, h_src.shape[1]), dtype=np.float64)
+    np.add.at(out, dst, messages)
+    return out
+
+
+def mean_edge_weights(block: LayerBlock) -> np.ndarray:
+    """Per-edge weights realizing the neighbor mean of paper Eq. 4.
+
+    Each destination's incident edges get weight ``1 / indeg(dst)`` within
+    the block. Destinations with no sampled neighbors contribute a zero
+    mean (no edges exist, so no weights are needed).
+    """
+    indeg = np.bincount(block.dst_local, minlength=block.num_dst)
+    safe = np.maximum(indeg, 1).astype(np.float64)
+    return 1.0 / safe[block.dst_local]
+
+
+def gcn_edge_weights(block: LayerBlock, src_global_degree: np.ndarray,
+                     dst_global_degree: np.ndarray) -> np.ndarray:
+    """Per-edge weights ``1/sqrt(D(u) D(v))`` of paper Eq. 3.
+
+    Degrees are *global* graph degrees (+1 for the implicit self-loop, the
+    standard Kipf-Welling normalization), indexed per edge endpoint.
+
+    Parameters
+    ----------
+    src_global_degree / dst_global_degree:
+        Degree of each edge's source / destination vertex in the full
+        graph, aligned with the block's edge arrays.
+    """
+    src_d = np.asarray(src_global_degree, dtype=np.float64) + 1.0
+    dst_d = np.asarray(dst_global_degree, dtype=np.float64) + 1.0
+    if src_d.shape != (block.num_edges,) or dst_d.shape != \
+            (block.num_edges,):
+        raise ShapeError("degree arrays must have one entry per edge")
+    return 1.0 / np.sqrt(src_d * dst_d)
+
+
+def add_self_edges(block: LayerBlock) -> LayerBlock:
+    """Return a block with self-edges ``(i, i)`` appended for each dst.
+
+    Valid because destination vertices are a prefix of the source list
+    (MiniBatch alignment invariant), so local id ``i < num_dst`` denotes
+    the same vertex on both sides. GCN aggregates over ``N(v) ∪ {v}``
+    (paper Eq. 1); this materializes the ``{v}`` term.
+    """
+    loops = np.arange(block.num_dst, dtype=np.int64)
+    return LayerBlock(
+        src_local=np.concatenate([block.src_local, loops]),
+        dst_local=np.concatenate([block.dst_local, loops]),
+        num_src=block.num_src,
+        num_dst=block.num_dst,
+    )

@@ -1,0 +1,31 @@
+"""Parameter initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so model
+construction is reproducible from a single seed (required by the
+sync-SGD-equivalence tests, which must build bit-identical model replicas).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def xavier_uniform(shape: tuple[int, ...],
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init: U(-a, a) with a = sqrt(6 / (fan_in+out)).
+
+    Matches the PyTorch-Geometric default for GCN/SAGE linear weights.
+    """
+    if len(shape) != 2:
+        raise ShapeError(f"xavier_uniform expects a 2-D shape, got {shape}")
+    fan_in, fan_out = shape
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float64)
+
+
+def zeros_init(shape: tuple[int, ...],
+               rng: np.random.Generator | None = None) -> np.ndarray:
+    """Zero init (biases)."""
+    return np.zeros(shape, dtype=np.float64)

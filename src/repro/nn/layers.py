@@ -1,0 +1,170 @@
+"""GNN layers under the aggregate-update paradigm (paper §II-A).
+
+Each layer is a pair (aggregate, update):
+
+* :class:`GCNLayer` — paper Eq. 3: symmetric-normalized sum over
+  ``N(v) ∪ {v}`` followed by a dense update + ReLU.
+* :class:`SAGELayer` — paper Eq. 4: ``concat(h_v, mean(h_u))`` followed by
+  a dense update + ReLU.
+
+Layers are minibatch-agnostic: an aggregator is built per
+:class:`~repro.sampling.base.LayerBlock` via :meth:`build_aggregator` and
+passed to ``forward``/``backward`` together with an explicit cache object,
+so the same layer instance can be evaluated concurrently by multiple
+trainers (the hybrid system runs several trainers per iteration on model
+replicas, but tests also exercise shared instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..sampling.base import LayerBlock
+from .activations import relu, relu_grad
+from .aggregators import (
+    SparseAggregator,
+    add_self_edges,
+    gcn_edge_weights,
+    mean_edge_weights,
+)
+from .linear import Linear
+
+
+@dataclass
+class LayerCache:
+    """Intermediates one forward pass must keep for its backward pass."""
+
+    aggregator: SparseAggregator
+    update_input: np.ndarray      # input of the dense update (a_v)
+    pre_activation: np.ndarray    # z = a W + b (None-equivalent if linear)
+    h_src: np.ndarray             # layer input features
+
+
+class GCNLayer:
+    """Graph Convolutional Network layer (paper Eq. 3).
+
+    Parameters
+    ----------
+    in_dim / out_dim:
+        Feature lengths f^{l-1} / f^l.
+    rng:
+        Initializer RNG.
+    activation:
+        Apply ReLU after the update (the final classification layer of a
+        model sets this False so logits feed softmax directly).
+    """
+
+    aggregation = "gcn"
+
+    def __init__(self, in_dim: int, out_dim: int,
+                 rng: np.random.Generator, activation: bool = True) -> None:
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.linear = Linear(in_dim, out_dim, rng)
+        self.activation = activation
+
+    # -- aggregation structure ------------------------------------------
+    def build_aggregator(self, block: LayerBlock,
+                         src_global_ids: np.ndarray,
+                         dst_global_ids: np.ndarray,
+                         global_degrees: np.ndarray | None
+                         ) -> SparseAggregator:
+        """Aggregator over ``N(v) ∪ {v}`` with 1/sqrt(D(u)D(v)) weights.
+
+        ``global_degrees`` may be None, in which case uniform degrees are
+        assumed (useful for gradcheck on toy blocks).
+        """
+        blk = add_self_edges(block)
+        if global_degrees is None:
+            weights = np.ones(blk.num_edges, dtype=np.float64)
+        else:
+            global_degrees = np.asarray(global_degrees)
+            src_deg = global_degrees[src_global_ids[blk.src_local]]
+            dst_deg = global_degrees[dst_global_ids[blk.dst_local]]
+            weights = gcn_edge_weights(blk, src_deg, dst_deg)
+        return SparseAggregator(blk, weights)
+
+    # -- forward / backward ---------------------------------------------
+    def forward(self, aggregator: SparseAggregator,
+                h_src: np.ndarray) -> tuple[np.ndarray, LayerCache]:
+        """Aggregate then update; returns (h_out, cache)."""
+        a = aggregator.forward(h_src)
+        z = self.linear.forward(a)
+        h = relu(z) if self.activation else z
+        return h, LayerCache(aggregator=aggregator, update_input=a,
+                             pre_activation=z, h_src=h_src)
+
+    def backward(self, cache: LayerCache,
+                 grad_out: np.ndarray) -> np.ndarray:
+        """Reverse-order ops (paper §II-B: backward = same ops reversed)."""
+        dz = relu_grad(cache.pre_activation, grad_out) \
+            if self.activation else grad_out
+        da = self.linear.backward(cache.update_input, dz)
+        return cache.aggregator.backward(da)
+
+    def zero_grad(self) -> None:
+        self.linear.zero_grad()
+
+    @property
+    def num_params(self) -> int:
+        return self.linear.num_params
+
+
+class SAGELayer:
+    """GraphSAGE layer with mean aggregator (paper Eq. 4).
+
+    The update consumes ``concat(h_v, mean_{u∈N(v)} h_u)``; the linear
+    weight is therefore ``(2 * in_dim, out_dim)``.
+    """
+
+    aggregation = "mean"
+
+    def __init__(self, in_dim: int, out_dim: int,
+                 rng: np.random.Generator, activation: bool = True) -> None:
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.linear = Linear(2 * in_dim, out_dim, rng)
+        self.activation = activation
+
+    def build_aggregator(self, block: LayerBlock,
+                         src_global_ids: np.ndarray,
+                         dst_global_ids: np.ndarray,
+                         global_degrees: np.ndarray | None
+                         ) -> SparseAggregator:
+        """Neighbor-mean aggregator (global degrees are not needed)."""
+        return SparseAggregator(block, mean_edge_weights(block))
+
+    def forward(self, aggregator: SparseAggregator,
+                h_src: np.ndarray) -> tuple[np.ndarray, LayerCache]:
+        """Mean-aggregate, concat with self features, update."""
+        num_dst = aggregator.block.num_dst
+        if h_src.shape[0] < num_dst:
+            raise ShapeError("source rows fewer than destinations")
+        m = aggregator.forward(h_src)
+        a = np.concatenate([h_src[:num_dst], m], axis=1)
+        z = self.linear.forward(a)
+        h = relu(z) if self.activation else z
+        return h, LayerCache(aggregator=aggregator, update_input=a,
+                             pre_activation=z, h_src=h_src)
+
+    def backward(self, cache: LayerCache,
+                 grad_out: np.ndarray) -> np.ndarray:
+        dz = relu_grad(cache.pre_activation, grad_out) \
+            if self.activation else grad_out
+        da = self.linear.backward(cache.update_input, dz)
+        d_self = da[:, :self.in_dim]
+        d_mean = da[:, self.in_dim:]
+        dh_src = cache.aggregator.backward(d_mean)
+        num_dst = cache.aggregator.block.num_dst
+        dh_src[:num_dst] += d_self
+        return dh_src
+
+    def zero_grad(self) -> None:
+        self.linear.zero_grad()
+
+    @property
+    def num_params(self) -> int:
+        return self.linear.num_params

@@ -1,0 +1,212 @@
+"""GNN model container: layer stack + minibatch-driven forward/backward.
+
+A :class:`GNNModel` owns L layers and evaluates them over a
+:class:`~repro.sampling.base.MiniBatch`. Layer ``l`` consumes the features
+of ``V^{l-1}`` and produces features for ``V^l``; because destination node
+lists are prefixes of source lists, the output of layer ``l`` *is* the
+input of layer ``l+1`` (no re-gather).
+
+Gradient synchronization (the paper's Synchronizer) works on the flat
+parameter/gradient vectors exposed by :meth:`get_flat_grads` /
+:meth:`set_flat_params`; the layout is deterministic (layer order, W then
+b), so replicas built from the same seed exchange buffers directly — the
+same buffer-not-pickle discipline the mpi4py guide recommends.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import layer_dims
+from ..errors import ConfigError, ShapeError
+from ..sampling.base import MiniBatch
+from .layers import GCNLayer, LayerCache, SAGELayer
+
+
+class GNNModel:
+    """A stack of GCN or SAGE layers with manual backprop.
+
+    Parameters
+    ----------
+    layers:
+        Layer instances, input side first.
+    """
+
+    def __init__(self, layers: Sequence) -> None:
+        if not layers:
+            raise ConfigError("model needs at least one layer")
+        self.layers = list(layers)
+        self._caches: list[LayerCache] | None = None
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, minibatch: MiniBatch, x0: np.ndarray,
+                global_degrees: np.ndarray | None = None) -> np.ndarray:
+        """Run forward propagation; returns logits for the batch targets.
+
+        Parameters
+        ----------
+        minibatch:
+            The sampled computational graph (L blocks).
+        x0:
+            ``(|V^0|, f^0)`` input features for ``minibatch.input_nodes``.
+        global_degrees:
+            Full-graph degree array (required by GCN normalization; SAGE
+            ignores it).
+        """
+        if len(minibatch.blocks) != len(self.layers):
+            raise ShapeError(
+                f"model has {len(self.layers)} layers but batch has "
+                f"{len(minibatch.blocks)} blocks")
+        if x0.shape[0] != minibatch.input_nodes.size:
+            raise ShapeError("x0 rows must match |V^0|")
+        h = np.asarray(x0, dtype=np.float64)
+        caches: list[LayerCache] = []
+        for l, (layer, block) in enumerate(zip(self.layers,
+                                               minibatch.blocks)):
+            agg = layer.build_aggregator(
+                block,
+                src_global_ids=minibatch.node_ids[l],
+                dst_global_ids=minibatch.node_ids[l + 1],
+                global_degrees=global_degrees)
+            h, cache = layer.forward(agg, h)
+            caches.append(cache)
+        self._caches = caches
+        return h
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        """Run backward propagation; accumulates parameter gradients.
+
+        Returns the gradient w.r.t. the input features (rarely needed, but
+        useful for gradcheck).
+        """
+        if self._caches is None:
+            raise ShapeError("backward called before forward")
+        grad = np.asarray(grad_logits, dtype=np.float64)
+        for layer, cache in zip(reversed(self.layers),
+                                reversed(self._caches)):
+            grad = layer.backward(cache, grad)
+        self._caches = None
+        return grad
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[tuple[str, np.ndarray]]:
+        """Named parameter arrays (mutable references, layer order)."""
+        out = []
+        for i, layer in enumerate(self.layers):
+            out.append((f"layer{i}.W", layer.linear.W))
+            out.append((f"layer{i}.b", layer.linear.b))
+        return out
+
+    def gradients(self) -> list[tuple[str, np.ndarray]]:
+        """Named gradient arrays aligned with :meth:`parameters`."""
+        out = []
+        for i, layer in enumerate(self.layers):
+            out.append((f"layer{i}.W", layer.linear.dW))
+            out.append((f"layer{i}.b", layer.linear.db))
+        return out
+
+    def zero_grad(self) -> None:
+        """Clear all accumulated gradients."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    @property
+    def num_params(self) -> int:
+        """Total scalar parameter count (the paper's "model size")."""
+        return sum(layer.num_params for layer in self.layers)
+
+    # -- flat views for all-reduce --------------------------------------
+    def get_flat_params(self) -> np.ndarray:
+        """Copy all parameters into one contiguous float64 vector."""
+        return np.concatenate([p.ravel() for _, p in self.parameters()])
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector (inverse of get_flat_params).
+
+        Writes in place so optimizer state keeps referencing the arrays.
+        """
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.size != self.num_params:
+            raise ShapeError("flat vector size mismatch")
+        offset = 0
+        for _, p in self.parameters():
+            p[...] = flat[offset:offset + p.size].reshape(p.shape)
+            offset += p.size
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Copy all gradients into one contiguous float64 vector."""
+        return np.concatenate([g.ravel() for _, g in self.gradients()])
+
+    def set_flat_grads(self, flat: np.ndarray) -> None:
+        """Load gradients from a flat vector (used after all-reduce)."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.size != self.num_params:
+            raise ShapeError("flat vector size mismatch")
+        offset = 0
+        for _, g in self.gradients():
+            g[...] = flat[offset:offset + g.size].reshape(g.shape)
+            offset += g.size
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copies of all parameters keyed by name."""
+        return {name: p.copy() for name, p in self.parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter copies produced by :meth:`state_dict`."""
+        mine = dict(self.parameters())
+        if set(state) != set(mine):
+            raise ShapeError("state dict keys mismatch")
+        for name, value in state.items():
+            if mine[name].shape != value.shape:
+                raise ShapeError(f"shape mismatch for {name}")
+            mine[name][...] = value
+
+
+def build_model(name: str, dims: Sequence[int], seed: int = 0) -> GNNModel:
+    """Construct a GCN or GraphSAGE model.
+
+    Parameters
+    ----------
+    name:
+        ``"gcn"`` or ``"sage"``.
+    dims:
+        Feature lengths ``(f^0, ..., f^L)`` — see
+        :func:`repro.config.layer_dims`.
+    seed:
+        Initializer seed. Two calls with identical arguments produce
+        bit-identical models (required for multi-trainer replicas).
+
+    The final layer has no activation (logits feed softmax loss); all
+    others use ReLU, matching the paper's model definitions.
+    """
+    if len(dims) < 2:
+        raise ConfigError("dims must contain at least (f0, f1)")
+    cls = {"gcn": GCNLayer, "sage": SAGELayer}.get(name)
+    if cls is None:
+        raise ConfigError(f"unknown model {name!r}")
+    rng = np.random.default_rng(seed)
+    layers = []
+    num_layers = len(dims) - 1
+    for l in range(num_layers):
+        layers.append(cls(dims[l], dims[l + 1], rng,
+                          activation=(l < num_layers - 1)))
+    return GNNModel(layers)
+
+
+def model_size_bytes(dims: Sequence[int], model: str = "gcn",
+                     s_feat: int = 4) -> int:
+    """Model size in bytes (paper Eq. 13 numerator: Σ f^{l-1} f^l S_feat).
+
+    SAGE doubles the input dimension of every weight matrix (concat).
+    Biases are excluded, matching the paper's formula.
+    """
+    mult = 2 if model == "sage" else 1
+    return sum(mult * dims[l - 1] * dims[l] * s_feat
+               for l in range(1, len(dims)))

@@ -1,0 +1,100 @@
+"""Optimizers operating on a model's named parameter/gradient arrays.
+
+Updates are in place so every reference (trainer replicas hold their own
+models; the synchronizer writes averaged gradients back before stepping)
+stays valid.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ConfigError
+from .models import GNNModel
+
+
+class Optimizer(abc.ABC):
+    """Base optimizer bound to one model."""
+
+    def __init__(self, model: GNNModel) -> None:
+        self.model = model
+
+    @abc.abstractmethod
+    def step(self) -> None:
+        """Apply one update from the model's current gradients."""
+
+    def zero_grad(self) -> None:
+        """Convenience passthrough."""
+        self.model.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum.
+
+    Plain SGD (momentum=0) is what the synchronous-SGD equivalence proof
+    relies on; momentum is provided for the examples.
+    """
+
+    def __init__(self, model: GNNModel, lr: float,
+                 momentum: float = 0.0) -> None:
+        super().__init__(model)
+        if lr <= 0:
+            raise ConfigError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] | None = None
+        if momentum > 0.0:
+            self._velocity = {name: np.zeros_like(p)
+                              for name, p in model.parameters()}
+
+    def step(self) -> None:
+        grads = dict(self.model.gradients())
+        for name, p in self.model.parameters():
+            g = grads[name]
+            if self._velocity is not None:
+                v = self._velocity[name]
+                v *= self.momentum
+                v += g
+                p -= self.lr * v
+            else:
+                p -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, model: GNNModel, lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8) -> None:
+        super().__init__(model)
+        if lr <= 0:
+            raise ConfigError("lr must be positive")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._t = 0
+        self._m = {name: np.zeros_like(p)
+                   for name, p in model.parameters()}
+        self._v = {name: np.zeros_like(p)
+                   for name, p in model.parameters()}
+
+    def step(self) -> None:
+        self._t += 1
+        grads = dict(self.model.gradients())
+        bc1 = 1.0 - self.beta1 ** self._t
+        bc2 = 1.0 - self.beta2 ** self._t
+        for name, p in self.model.parameters():
+            g = grads[name]
+            m, v = self._m[name], self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

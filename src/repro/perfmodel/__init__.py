@@ -1,0 +1,35 @@
+"""Analytic performance model (paper §V, Eq. 5-13).
+
+Predicts per-stage times from batch statistics and platform metadata, and
+derives the coarse-grained initial task mapping (paper §IV-A: "we first
+utilize the predicted result from our performance model to initialize the
+GNN training task mapping during compile time").
+"""
+
+from .sampling_profile import (
+    ACCEL_SAMPLE_RATE_EDGES_PER_S,
+    HYSCALE_SAMPLE_RATE_EDGES_PER_S_PER_THREAD,
+    PYG_SAMPLE_RATE_EDGES_PER_S_PER_THREAD,
+    SamplingProfile,
+    project_full_scale_stats,
+)
+from .model import (
+    PerformanceModel,
+    StageTimes,
+    WorkloadSplit,
+    throughput_mteps,
+)
+from .mapping import initial_mapping
+
+__all__ = [
+    "SamplingProfile",
+    "project_full_scale_stats",
+    "HYSCALE_SAMPLE_RATE_EDGES_PER_S_PER_THREAD",
+    "PYG_SAMPLE_RATE_EDGES_PER_S_PER_THREAD",
+    "ACCEL_SAMPLE_RATE_EDGES_PER_S",
+    "PerformanceModel",
+    "StageTimes",
+    "WorkloadSplit",
+    "throughput_mteps",
+    "initial_mapping",
+]

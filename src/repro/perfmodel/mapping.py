@@ -1,0 +1,115 @@
+"""Coarse-grained initial task mapping (paper §IV-A, design phase).
+
+HyScale-GNN initializes its task mapping from the performance model before
+training starts; the DRM engine then fine-tunes at runtime. The search
+here is deliberately coarse (the paper calls it "coarse-grained"): a grid
+over the CPU trainer's workload share, the accelerator-sampling share,
+and a handful of thread-allocation presets, minimizing predicted
+iteration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .model import PerformanceModel, WorkloadSplit
+
+
+#: Thread presets (sample, load, train) explored by the mapping search,
+#: expressed as fractions of the total thread budget.
+_THREAD_PRESETS = (
+    (0.50, 0.25, 0.25),
+    (0.375, 0.25, 0.375),
+    (0.25, 0.25, 0.50),
+    (0.25, 0.50, 0.25),
+    (0.375, 0.375, 0.25),
+)
+
+#: CPU workload shares explored (fraction of one accelerator's quota that
+#: the CPU trainer takes *in addition to* the accelerator quotas).
+_CPU_SHARE_GRID = (0.0, 0.25, 0.5, 0.75, 1.0, 1.5)
+
+_ACCEL_SAMPLE_GRID = (0.0, 0.25, 0.5)
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Outcome of the design-phase search."""
+
+    split: WorkloadSplit
+    predicted_iteration_s: float
+    candidates_evaluated: int
+
+
+def initial_mapping(model: PerformanceModel, minibatch_size: int,
+                    hybrid: bool = True,
+                    pipelined: bool = True,
+                    coarse: bool = True) -> MappingResult:
+    """Search for the best compile-time workload split.
+
+    Every accelerator receives a full ``minibatch_size`` quota (the paper
+    assigns one mini-batch per trainer); the grid explores how large a
+    batch the CPU trainer should additionally take, where sampling runs,
+    and how to split CPU threads.
+
+    The objective is seconds *per trained target* (iteration time divided
+    by targets per iteration), i.e. epoch time up to rounding — not raw
+    iteration time, which would never justify giving the CPU trainer any
+    work (extra CPU work can only lengthen an iteration; its payoff is
+    fewer iterations per epoch).
+
+    ``coarse`` restricts the grid to the handful of points a design-phase
+    pass realistically explores (paper §IV-A calls the compile-time
+    mapping "coarse-grained"); the DRM engine fine-tunes from there at
+    runtime. ``coarse=False`` searches the full grid — used by the
+    mapping-quality ablation bench.
+    """
+    if minibatch_size <= 0:
+        raise ConfigError("minibatch_size must be positive")
+    n_accel = model.platform.num_accelerators
+    if n_accel == 0 and not hybrid:
+        raise ConfigError("nothing to map: no accelerators and no CPU "
+                          "trainer")
+    budget = model.total_cpu_threads
+    best: tuple[float, WorkloadSplit, float] | None = None
+    evaluated = 0
+
+    if coarse:
+        # Design-phase coarseness: a handful of CPU shares, no
+        # accelerator sampling, and a naive equal-thirds thread split —
+        # the runtime DRM engine is what refines threads (paper §IV-A).
+        cpu_shares = (0.0, 0.25, 0.5, 1.0) if hybrid else (0.0,)
+        sample_fracs = (0.0,)
+        presets = ((1 / 3, 1 / 3, 1 / 3),)
+    else:
+        cpu_shares = _CPU_SHARE_GRID if hybrid else (0.0,)
+        sample_fracs = _ACCEL_SAMPLE_GRID if n_accel > 0 else (0.0,)
+        presets = _THREAD_PRESETS
+    for cpu_share in cpu_shares:
+        cpu_targets = int(round(minibatch_size * cpu_share))
+        for sample_frac in sample_fracs:
+            for fs, fl, ft in presets:
+                if cpu_targets == 0:
+                    # No CPU trainer: its thread share goes to sampling.
+                    fs, ft = fs + ft, 0.0
+                split = WorkloadSplit(
+                    cpu_targets=cpu_targets,
+                    accel_targets=(minibatch_size,) * n_accel,
+                    accel_sample_fraction=sample_frac,
+                    sample_threads=max(1, int(budget * fs)),
+                    load_threads=max(1, int(budget * fl)),
+                    train_threads=max(1 if cpu_targets else 0,
+                                      int(budget * ft)),
+                )
+                if split.total_threads > budget:
+                    continue
+                t = model.iteration_time(split, pipelined=pipelined)
+                per_target = t / split.total_targets
+                evaluated += 1
+                if best is None or per_target < best[0]:
+                    best = (per_target, split, t)
+    if best is None:
+        raise ConfigError("mapping search found no feasible split")
+    return MappingResult(split=best[1], predicted_iteration_s=best[2],
+                         candidates_evaluated=evaluated)

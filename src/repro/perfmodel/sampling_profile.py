@@ -1,0 +1,167 @@
+"""Empirical sampling-time profiling and batch-statistics estimation.
+
+The paper does not model ``T_samp`` analytically: "we estimate T_samp by
+running the sampling algorithm under different numbers of threads and
+different mini-batch sizes, and deriving their execution time during
+design phase" (§V). :class:`SamplingProfile` does exactly that — it draws
+probe batches from the (scaled) graph and records realized ``|V^l|`` /
+``|E^l|`` statistics, from which sampling time follows via calibrated
+sampler throughputs.
+
+Sampler throughput constants
+----------------------------
+``HYSCALE_SAMPLE_RATE_EDGES_PER_S_PER_THREAD``
+    HyScale-GNN's native (C++/pthread) neighbor sampler: ~4M sampled
+    edges/s per thread (~250 ns/edge — a few DRAM-latency-class accesses
+    per sampled edge; the upper end of optimized CSR samplers).
+``PYG_SAMPLE_RATE_EDGES_PER_S_PER_THREAD``
+    PyTorch-Geometric v2.0 torch-sparse sampler — the multi-GPU baseline's
+    sampler — ~2.5x slower per thread than the native sampler
+    (Python/torch-sparse dispatch overhead; consistent with the
+    Salient/DGL sampling-bottleneck literature), and the baseline runs
+    far fewer sampler workers than HyScale's 256 hardware threads.
+``ACCEL_SAMPLE_RATE_EDGES_PER_S``
+    Per-accelerator sampling throughput when mini-batch sampling is
+    offloaded (paper Alg. 1's ``T_SA`` path): GPU sampling kernels (DGL's
+    CUDA sampler class) and dedicated FPGA sampling units (the HP-GNN
+    lineage the authors built previously) both reach tens of millions of
+    edges/s per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SamplingError
+from ..graph.csr import CSRGraph
+from ..graph.datasets import DatasetSpec
+from ..sampling.base import MiniBatchStats
+from ..sampling.neighbor import NeighborSampler
+
+HYSCALE_SAMPLE_RATE_EDGES_PER_S_PER_THREAD = 4.0e6
+PYG_SAMPLE_RATE_EDGES_PER_S_PER_THREAD = 1.5e6
+ACCEL_SAMPLE_RATE_EDGES_PER_S = {"gpu": 30.0e6, "fpga": 50.0e6}
+
+
+@dataclass(frozen=True)
+class SamplingProfile:
+    """Measured expected batch statistics for one (graph, fanouts) pair.
+
+    Attributes
+    ----------
+    base_minibatch_size:
+        Target count the probe batches used.
+    mean_stats:
+        Expected :class:`MiniBatchStats` at the base size. Use
+        :meth:`expected_stats` for other sizes (near-linear scaling).
+    rel_std:
+        Relative standard deviation of total batch edges across probes —
+        feeds the straggler analysis in the event simulator.
+    """
+
+    base_minibatch_size: int
+    mean_stats: MiniBatchStats
+    rel_std: float
+
+    @classmethod
+    def measure(cls, sampler: NeighborSampler, minibatch_size: int,
+                num_probes: int = 8, seed: int = 17) -> "SamplingProfile":
+        """Draw ``num_probes`` batches and average their statistics."""
+        if num_probes < 1:
+            raise SamplingError("need at least one probe batch")
+        rng = np.random.default_rng(seed)
+        ids = sampler.train_ids
+        nodes_acc = None
+        edges_acc = None
+        totals = []
+        for _ in range(num_probes):
+            take = min(minibatch_size, ids.size)
+            targets = rng.choice(ids, size=take, replace=False)
+            stats = sampler.sample(targets).stats()
+            nodes = np.array(stats.num_nodes_per_layer, dtype=np.float64)
+            edges = np.array(stats.num_edges_per_layer, dtype=np.float64)
+            nodes_acc = nodes if nodes_acc is None else nodes_acc + nodes
+            edges_acc = edges if edges_acc is None else edges_acc + edges
+            totals.append(edges.sum())
+        nodes_mean = nodes_acc / num_probes
+        edges_mean = edges_acc / num_probes
+        totals = np.array(totals)
+        rel_std = float(totals.std() / totals.mean()) if \
+            totals.mean() > 0 else 0.0
+        mean_stats = MiniBatchStats(
+            num_nodes_per_layer=tuple(int(round(v)) for v in nodes_mean),
+            num_edges_per_layer=tuple(int(round(e)) for e in edges_mean),
+            feature_dim=sampler.feature_dim)
+        return cls(base_minibatch_size=minibatch_size,
+                   mean_stats=mean_stats, rel_std=rel_std)
+
+    def expected_stats(self, minibatch_size: int) -> MiniBatchStats:
+        """Expected statistics for a different mini-batch size.
+
+        Neighbor-sampled batch sizes scale near-linearly in the target
+        count (sub-linearly once dedup saturates; acceptable for the
+        ±50% adjustments the DRM engine makes).
+        """
+        if minibatch_size <= 0:
+            raise SamplingError("minibatch_size must be positive")
+        return self.mean_stats.scaled(
+            minibatch_size / self.base_minibatch_size)
+
+    def sampling_time(self, minibatch_sizes_total: int,
+                      edges_per_s: float) -> float:
+        """Seconds to sample ``minibatch_sizes_total`` targets' batches at
+        the given sampler throughput (edges/s)."""
+        if edges_per_s <= 0:
+            raise SamplingError("edges_per_s must be positive")
+        stats = self.expected_stats(max(1, minibatch_sizes_total))
+        return stats.total_edges / edges_per_s
+
+
+def _effective_pool_size(graph: CSRGraph) -> float:
+    """Inverse-Simpson effective vertex count under degree-proportional
+    sampling (hubs shrink the pool, raising collision rates)."""
+    d = graph.out_degrees.astype(np.float64)
+    total = d.sum()
+    if total <= 0:
+        return float(graph.num_vertices)
+    p = d / total
+    return float(1.0 / np.square(p).sum())
+
+
+def project_full_scale_stats(graph: CSRGraph, spec: DatasetSpec,
+                             fanouts: tuple[int, ...],
+                             minibatch_size: int) -> MiniBatchStats:
+    """Estimate per-batch |V^l| / |E^l| for the *full-scale* dataset.
+
+    The scaled graph preserves the degree distribution, so the expected
+    per-vertex sampled-edge count ``E[min(deg, fanout)]`` transfers
+    directly. Unique-vertex counts use a birthday-style correction with
+    the effective pool size scaled up to the full graph: at paper scale,
+    collisions nearly vanish outside hub vertices, so ``|V^0|``
+    approaches its no-dedup upper bound — the regime the paper's PCIe
+    traffic numbers live in.
+    """
+    degs = graph.out_degrees.astype(np.float64)
+    scale_up = spec.num_vertices / graph.num_vertices
+    pool = _effective_pool_size(graph) * scale_up
+
+    nodes = [float(minibatch_size)]
+    edges: list[float] = []
+    frontier = float(minibatch_size)
+    for fanout in fanouts:
+        e_per_v = float(np.minimum(degs, fanout).mean())
+        drawn = frontier * e_per_v
+        # Unique draws from an effective pool of `pool` vertices.
+        unique = pool * (1.0 - np.exp(-drawn / pool))
+        frontier = frontier + unique          # prefix-union with frontier
+        edges.append(drawn)
+        nodes.append(frontier)
+    # MiniBatchStats wants input side first.
+    nodes.reverse()
+    edges.reverse()
+    return MiniBatchStats(
+        num_nodes_per_layer=tuple(int(round(v)) for v in nodes),
+        num_edges_per_layer=tuple(int(round(e)) for e in edges),
+        feature_dim=spec.feature_dim)

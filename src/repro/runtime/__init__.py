@@ -1,0 +1,44 @@
+"""The HyScale-GNN runtime: protocol, pipeline, DRM, and the hybrid system.
+
+This package is the paper's primary contribution (§III-§IV):
+
+* :mod:`repro.runtime.protocol` — the processor-accelerator training
+  protocol's handshake signals and ordering invariants (paper Fig. 5,
+  Listing 1);
+* :mod:`repro.runtime.synchronizer` — gradient all-reduce across trainer
+  replicas (gather → average → broadcast);
+* :mod:`repro.runtime.trainer` — CPU and accelerator trainer nodes
+  (functional NumPy training + kernel-model timing);
+* :mod:`repro.runtime.prefetch` — the two-stage feature prefetch buffers;
+* :mod:`repro.runtime.drm` — the Dynamic Resource Management engine
+  (paper Algorithm 1, verbatim decision structure);
+* :mod:`repro.runtime.hybrid` — :class:`HyScaleGNN`, the top-level system
+  that trains functionally while accounting virtual time;
+* :mod:`repro.runtime.executor` — a live multi-threaded executor using
+  condition-variable handshakes exactly like the paper's pthread
+  implementation.
+"""
+
+from .protocol import ProtocolLog, ProtocolEvent, Signal, validate_protocol
+from .synchronizer import GradientSynchronizer
+from .trainer import TrainerNode, TrainerReport
+from .prefetch import PrefetchBuffer
+from .drm import DRMDecision, DRMEngine
+from .hybrid import EpochReport, HyScaleGNN
+from .executor import ThreadedExecutor
+
+__all__ = [
+    "Signal",
+    "ProtocolEvent",
+    "ProtocolLog",
+    "validate_protocol",
+    "GradientSynchronizer",
+    "TrainerNode",
+    "TrainerReport",
+    "PrefetchBuffer",
+    "DRMEngine",
+    "DRMDecision",
+    "HyScaleGNN",
+    "EpochReport",
+    "ThreadedExecutor",
+]

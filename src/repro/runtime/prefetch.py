@@ -1,0 +1,88 @@
+"""Two-stage feature prefetch buffers (paper §IV-B, Fig. 7).
+
+The prefetcher keeps up to ``depth`` prepared mini-batches in flight per
+consumer: while the accelerator executes batch ``i``, batch ``i+1`` is in
+transfer and batch ``i+2`` is being loaded — the two stages overlap
+because they use different memory channels (host DDR vs PCIe).
+
+In the virtual-time engine the overlap itself is resolved by the
+:class:`~repro.sim.engine.PipelineSimulator`; :class:`PrefetchBuffer` is
+the *data-plane* structure used by the threaded executor (a bounded,
+thread-safe queue with depth = prefetch depth), plus occupancy accounting
+that tests assert against.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from ..errors import ProtocolError
+
+
+class PrefetchBuffer:
+    """Bounded FIFO with blocking put/get and occupancy stats.
+
+    Semantics match a ``queue.Queue(maxsize=depth)`` but with explicit
+    close() for clean shutdown and high-water tracking.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ProtocolError("prefetch depth must be >= 1")
+        self.depth = depth
+        self._items: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.high_water = 0
+        self.total_puts = 0
+
+    def put(self, item: Any, timeout: float | None = None) -> None:
+        """Insert, blocking while the buffer is full.
+
+        Raises
+        ------
+        ProtocolError
+            If the buffer was closed, or the timeout expired.
+        """
+        with self._not_full:
+            while len(self._items) >= self.depth and not self._closed:
+                if not self._not_full.wait(timeout):
+                    raise ProtocolError("prefetch put timed out")
+            if self._closed:
+                raise ProtocolError("put on closed prefetch buffer")
+            self._items.append(item)
+            self.total_puts += 1
+            self.high_water = max(self.high_water, len(self._items))
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Remove the oldest item, blocking while empty.
+
+        Returns ``None`` when the buffer is closed and drained (the
+        consumer's shutdown signal).
+        """
+        with self._not_empty:
+            while not self._items and not self._closed:
+                if not self._not_empty.wait(timeout):
+                    raise ProtocolError("prefetch get timed out")
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Mark the stream finished; wakes all waiters."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    @property
+    def occupancy(self) -> int:
+        with self._lock:
+            return len(self._items)

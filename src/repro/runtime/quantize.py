@@ -1,0 +1,64 @@
+"""Feature quantization for PCIe transfer (paper §VIII future work).
+
+The paper's stated future work: "we plan to exploit techniques like data
+quantization to relieve the stress on the PCIe bandwidth". This module
+implements it: mini-batch feature matrices destined for accelerators are
+quantized before crossing PCIe (and dequantized on-device), cutting the
+Data Transfer stage's traffic 2× (fp16) or 4× (int8).
+
+The functional plane applies the *real* quantize-dequantize round trip to
+accelerator trainers' inputs — the accuracy cost is measured, not
+assumed (the CPU trainer keeps reading full-precision features from host
+memory, matching the mechanism). ``tests/integration`` and
+``benchmarks/bench_extension_quantization.py`` quantify both sides of
+the trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Bytes per feature element on the PCIe link, per precision mode.
+TRANSFER_BYTES = {"fp32": 4, "fp16": 2, "int8": 1}
+
+
+def quantize_dequantize(x: np.ndarray, mode: str) -> np.ndarray:
+    """Round-trip ``x`` through the transfer precision.
+
+    Parameters
+    ----------
+    x:
+        ``(rows, features)`` float array (any float dtype).
+    mode:
+        ``"fp32"`` (identity), ``"fp16"`` (IEEE half round-trip), or
+        ``"int8"`` (per-row symmetric linear quantization — each feature
+        row carries its own scale, as a real implementation would ship
+        one fp32 scale per row alongside the payload).
+
+    Returns a float64 array with the quantization error applied.
+    """
+    if mode not in TRANSFER_BYTES:
+        raise ConfigError(
+            f"unknown transfer precision {mode!r}; "
+            f"expected one of {sorted(TRANSFER_BYTES)}")
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ConfigError("expected a 2-D feature matrix")
+    if mode == "fp32":
+        return x.astype(np.float64, copy=False)
+    if mode == "fp16":
+        return x.astype(np.float16).astype(np.float64)
+    # int8: symmetric per-row scale.
+    absmax = np.abs(x).max(axis=1, keepdims=True)
+    scale = np.where(absmax > 0, absmax / 127.0, 1.0)
+    q = np.clip(np.round(x / scale), -127, 127).astype(np.int8)
+    return q.astype(np.float64) * scale
+
+
+def quantization_rmse(x: np.ndarray, mode: str) -> float:
+    """Root-mean-square quantization error (diagnostics/benches)."""
+    x = np.asarray(x, dtype=np.float64)
+    err = quantize_dequantize(x, mode) - x
+    return float(np.sqrt(np.mean(err * err)))

@@ -1,0 +1,94 @@
+"""Trainer nodes: one model replica bound to one (modelled) device.
+
+A :class:`TrainerNode` couples the functional plane (a real NumPy model
+replica trained on real sampled batches) with the timing plane (the
+device's kernel cost model evaluated on the same batch's statistics).
+The hybrid system instantiates one CPU trainer plus one per accelerator;
+the multi-GPU baseline instantiates accelerator trainers only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..hw.kernels import PropagationBreakdown
+from ..nn.loss import accuracy, softmax_cross_entropy
+from ..nn.models import GNNModel
+from ..sampling.base import MiniBatch
+
+
+@dataclass(frozen=True)
+class TrainerReport:
+    """Outcome of one trainer's work on one mini-batch."""
+
+    trainer: str
+    loss: float
+    accuracy: float
+    batch_targets: int
+    propagation: PropagationBreakdown | None
+
+
+class TrainerNode:
+    """One GNN Trainer (paper §III-A).
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"cpu"`` or ``"accel0"``.
+    kind:
+        ``"cpu"`` or ``"accel"`` (placement; decides whether batches must
+        cross PCIe, which the runtime accounts).
+    model:
+        This trainer's model replica.
+    kernel_model:
+        Device cost model with a ``propagation(stats, dims, model)``
+        method, or ``None`` to skip timing (pure-functional tests).
+    dims / model_name:
+        Layer dimensions and model family for the kernel model.
+    """
+
+    def __init__(self, name: str, kind: str, model: GNNModel,
+                 kernel_model, dims, model_name: str) -> None:
+        if kind not in ("cpu", "accel"):
+            raise ConfigError(f"unknown trainer kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.model = model
+        self.kernel_model = kernel_model
+        self.dims = tuple(dims)
+        self.model_name = model_name
+
+    def train_minibatch(self, minibatch: MiniBatch, x0: np.ndarray,
+                        labels: np.ndarray,
+                        global_degrees: np.ndarray | None
+                        ) -> TrainerReport:
+        """Forward + backward on one batch; gradients stay in the model.
+
+        The caller (runtime) is responsible for synchronization and the
+        optimizer step, mirroring the paper's separation between Trainers
+        and the Synchronizer.
+        """
+        self.model.zero_grad()
+        logits = self.model.forward(minibatch, x0, global_degrees)
+        loss, dlogits = softmax_cross_entropy(logits, labels)
+        acc = accuracy(logits, labels)
+        self.model.backward(dlogits)
+        breakdown = None
+        if self.kernel_model is not None:
+            breakdown = self.kernel_model.propagation(
+                minibatch.stats(), self.dims, self.model_name)
+        return TrainerReport(trainer=self.name, loss=loss, accuracy=acc,
+                             batch_targets=minibatch.targets.size,
+                             propagation=breakdown)
+
+    def evaluate(self, minibatch: MiniBatch, x0: np.ndarray,
+                 labels: np.ndarray,
+                 global_degrees: np.ndarray | None) -> tuple[float, float]:
+        """(loss, accuracy) without touching gradients."""
+        logits = self.model.forward(minibatch, x0, global_degrees)
+        loss, _ = softmax_cross_entropy(logits, labels)
+        self.model._caches = None
+        return loss, accuracy(logits, labels)

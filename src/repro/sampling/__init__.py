@@ -1,0 +1,31 @@
+"""Mini-batch samplers (paper §II-B, §III-A "Mini-batch Sampler").
+
+The Mini-batch Sampler extracts a computational graph
+``{G(V^l, E^l) : 1 <= l <= L}`` from the full topology each iteration. Two
+sampler families from the paper are implemented:
+
+* :class:`NeighborSampler` — GraphSAGE neighbor sampling [2], the sampler
+  used in all paper experiments (fanouts 25, 10);
+* the GraphSAINT family [29] (:class:`SaintNodeSampler`,
+  :class:`SaintEdgeSampler`, :class:`SaintRWSampler`) — subgraph sampling.
+
+Both produce :class:`MiniBatch` objects consumed by the GNN trainers and by
+the hardware kernel cost models.
+"""
+
+from .base import LayerBlock, MiniBatch, MiniBatchStats, Sampler
+from .neighbor import NeighborSampler
+from .saint import SaintEdgeSampler, SaintNodeSampler, SaintRWSampler
+from .full import FullBatchSampler
+
+__all__ = [
+    "LayerBlock",
+    "MiniBatch",
+    "MiniBatchStats",
+    "Sampler",
+    "NeighborSampler",
+    "SaintNodeSampler",
+    "SaintEdgeSampler",
+    "SaintRWSampler",
+    "FullBatchSampler",
+]

@@ -1,0 +1,60 @@
+"""Full-graph "sampler".
+
+Yields a single batch containing every vertex and every edge at each layer.
+Used for exactness tests (mini-batch models must agree with full-graph
+computation on tiny graphs) and as the degenerate case of the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import SamplingError
+from ..graph.csr import CSRGraph
+from .base import LayerBlock, MiniBatch, Sampler
+
+
+class FullBatchSampler(Sampler):
+    """Produces the whole graph as one mini-batch.
+
+    The node list at every layer is ``arange(num_vertices)`` and each block
+    holds all edges, so layer semantics match a non-sampled GNN exactly.
+    Target set is still ``train_ids`` for loss-masking purposes; callers
+    mask outputs with :attr:`target_mask`.
+    """
+
+    def __init__(self, graph: CSRGraph, train_ids: np.ndarray,
+                 num_layers: int, feature_dim: int) -> None:
+        if num_layers < 1:
+            raise SamplingError("num_layers must be >= 1")
+        self.graph = graph
+        self.train_ids = np.asarray(train_ids, dtype=np.int64)
+        self.num_layers = num_layers
+        self.feature_dim = int(feature_dim)
+
+    @property
+    def target_mask(self) -> np.ndarray:
+        """Boolean mask of train vertices within the full batch order."""
+        mask = np.zeros(self.graph.num_vertices, dtype=bool)
+        mask[self.train_ids] = True
+        return mask
+
+    def sample(self, target_ids: np.ndarray | None = None) -> MiniBatch:
+        """Return the full graph as a batch (``target_ids`` is ignored —
+        full-batch training always computes embeddings for every vertex)."""
+        n = self.graph.num_vertices
+        all_ids = np.arange(n, dtype=np.int64)
+        src, dst = self.graph.edges()
+        block = LayerBlock(src_local=src, dst_local=dst,
+                           num_src=n, num_dst=n)
+        return MiniBatch(
+            node_ids=tuple([all_ids] * (self.num_layers + 1)),
+            blocks=tuple([block] * self.num_layers),
+            feature_dim=self.feature_dim)
+
+    def epoch_batches(self, minibatch_size: int,
+                      seed: int | None = None) -> Iterator[MiniBatch]:
+        """Yield the single full batch (``minibatch_size`` is ignored)."""
+        yield self.sample()

@@ -1,0 +1,43 @@
+"""Virtual clock for simulated time.
+
+All benchmark timing in this library is *virtual* (derived from the
+hardware cost models), never wall-clock — the host running the
+reproduction is not the machine being modelled. :class:`VirtualClock` is a
+tiny monotonic accumulator shared by components that advance simulated
+time.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonic simulated-time counter (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError("clock cannot start negative")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds; returns the new time."""
+        if dt < 0:
+            raise SimulationError(f"cannot advance by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to absolute time ``t`` (no-op if in past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def reset(self) -> None:
+        """Restart at zero."""
+        self._now = 0.0

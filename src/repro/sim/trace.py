@@ -1,0 +1,110 @@
+"""Timeline traces: spans, per-stage aggregation, ASCII Gantt rendering.
+
+A :class:`Span` is one (iteration, stage) execution interval in virtual
+time. :class:`Timeline` aggregates spans into the statistics the DRM
+engine and the benches consume (per-stage busy time, bottleneck stage,
+makespan) and can render a text Gantt chart for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Span:
+    """One stage execution of one iteration."""
+
+    stage: str
+    iteration: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"span ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Ordered collection of spans with aggregate queries."""
+
+    def __init__(self, spans: Iterable[Span] = ()) -> None:
+        self.spans: list[Span] = list(spans)
+
+    def add(self, span: Span) -> None:
+        """Append one span."""
+        self.spans.append(span)
+
+    @property
+    def makespan(self) -> float:
+        """End of the last span (total virtual time)."""
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans)
+
+    def stage_busy_time(self) -> dict[str, float]:
+        """Total busy seconds per stage (sums spans; overlap within a
+        stage is the caller's modelling choice)."""
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.stage] = out.get(s.stage, 0.0) + s.duration
+        return out
+
+    def bottleneck_stage(self) -> str | None:
+        """Stage with the largest total busy time."""
+        busy = self.stage_busy_time()
+        if not busy:
+            return None
+        return max(busy, key=busy.get)
+
+    def iteration_spans(self, iteration: int) -> list[Span]:
+        """All spans belonging to one iteration."""
+        return [s for s in self.spans if s.iteration == iteration]
+
+    def stage_durations(self, stage: str) -> list[float]:
+        """Durations of every execution of one stage, iteration order."""
+        spans = sorted((s for s in self.spans if s.stage == stage),
+                       key=lambda s: s.iteration)
+        return [s.duration for s in spans]
+
+
+def render_gantt(timeline: Timeline, width: int = 78,
+                 max_rows: int = 40) -> str:
+    """ASCII Gantt chart of a timeline (one row per stage×iteration).
+
+    Used by the examples to visualize how Two-stage Feature Prefetching
+    overlaps the four pipeline stages (paper Fig. 7).
+    """
+    if not timeline.spans:
+        return "(empty timeline)"
+    total = timeline.makespan
+    if total <= 0:
+        return "(zero-length timeline)"
+    stages: list[str] = []
+    for s in timeline.spans:
+        if s.stage not in stages:
+            stages.append(s.stage)
+    label_w = max(len(st) for st in stages) + 8
+    bar_w = max(10, width - label_w - 2)
+    lines = [f"{'':{label_w}} 0{'.' * (bar_w - 8)}{total * 1e3:8.2f}ms"]
+    shown = 0
+    for span in sorted(timeline.spans, key=lambda s: (s.iteration,
+                                                      s.start)):
+        if shown >= max_rows:
+            lines.append(f"... ({len(timeline.spans) - shown} more spans)")
+            break
+        begin = int(round(span.start / total * (bar_w - 1)))
+        end = max(begin + 1, int(round(span.end / total * (bar_w - 1))))
+        bar = " " * begin + "#" * (end - begin)
+        label = f"[{span.iteration:3d}] {span.stage}"
+        lines.append(f"{label:{label_w}} |{bar:{bar_w}}|")
+        shown += 1
+    return "\n".join(lines)

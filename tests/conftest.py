@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig, TrainingConfig
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import tiny_dataset
+from repro.graph.generators import power_law_graph
+from repro.hw.topology import (
+    hyscale_cpu_fpga_platform,
+    hyscale_cpu_gpu_platform,
+)
+from repro.sampling.neighbor import NeighborSampler
+
+
+@pytest.fixture(scope="session")
+def tiny_ds():
+    """Small learnable dataset shared across tests (read-only)."""
+    return tiny_dataset(num_vertices=400, feature_dim=12, num_classes=4,
+                        avg_degree=8.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_graph():
+    """Mid-size power-law graph for sampler/statistics tests."""
+    return power_law_graph(4000, 10.0, seed=3).symmetrize()
+
+
+@pytest.fixture()
+def line_graph():
+    """Deterministic path graph 0 -> 1 -> 2 -> 3 (plus reverse)."""
+    src = np.array([0, 1, 2, 1, 2, 3])
+    dst = np.array([1, 2, 3, 0, 1, 2])
+    return CSRGraph.from_edges(src, dst, 4)
+
+
+@pytest.fixture()
+def small_cfg():
+    """Small training config usable on tiny_ds."""
+    return TrainingConfig(model="sage", minibatch_size=32,
+                          fanouts=(4, 3), hidden_dim=16,
+                          learning_rate=0.05, seed=11)
+
+
+@pytest.fixture()
+def fpga_platform():
+    return hyscale_cpu_fpga_platform(2)
+
+
+@pytest.fixture()
+def gpu_platform():
+    return hyscale_cpu_gpu_platform(2)
+
+
+@pytest.fixture(scope="session")
+def tiny_sampler(tiny_ds):
+    return NeighborSampler(tiny_ds.graph, tiny_ds.train_ids, (4, 3),
+                           tiny_ds.spec.feature_dim, seed=5)

@@ -1,0 +1,99 @@
+"""Failure-injection tests: the system must fail fast and loudly, never
+hang or silently corrupt state."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig, TrainingConfig
+from repro.errors import ProtocolError, ReproError, ShapeError
+from repro.graph.datasets import tiny_dataset
+from repro.nn.models import build_model
+from repro.runtime.executor import ThreadedExecutor
+from repro.runtime.prefetch import PrefetchBuffer
+from repro.runtime.synchronizer import GradientSynchronizer
+
+
+class TestExecutorFaults:
+    def test_trainer_exception_propagates(self, tiny_ds, small_cfg):
+        """A crash inside a trainer thread surfaces in run(), not a
+        deadlock."""
+        ex = ThreadedExecutor(tiny_ds, small_cfg, num_trainers=2,
+                              timeout_s=10)
+
+        # Sabotage one replica so forward raises a shape error.
+        bad = ex.trainers[1].model
+        bad.layers[0].linear.W = np.zeros((3, 3))
+        with pytest.raises((ReproError, ValueError)):
+            ex.run(3)
+
+    def test_watchdog_timeout_configured(self, tiny_ds, small_cfg):
+        """Timeouts are plumbed; a tiny timeout may trip on slow CI but
+        never hang (the wait loops all take the timeout)."""
+        ex = ThreadedExecutor(tiny_ds, small_cfg, num_trainers=1,
+                              timeout_s=15)
+        rep = ex.run(2)   # should complete comfortably
+        assert len(rep.losses) == 2
+
+
+class TestPrefetchFaults:
+    def test_get_timeout_raises(self):
+        buf = PrefetchBuffer(1)
+        with pytest.raises(ProtocolError):
+            buf.get(timeout=0.05)
+
+    def test_producer_blocked_by_closed_consumer(self):
+        buf = PrefetchBuffer(1)
+        buf.put("a")
+
+        def close_soon():
+            buf.close()
+
+        t = threading.Timer(0.05, close_soon)
+        t.start()
+        with pytest.raises(ProtocolError):
+            buf.put("b", timeout=5)
+        t.join()
+
+
+class TestSynchronizerFaults:
+    def test_diverged_replica_detected(self):
+        models = [build_model("gcn", (4, 2), seed=0) for _ in range(2)]
+        sync = GradientSynchronizer(models)
+        models[1].layers[0].linear.W += 1.0
+        assert not sync.replicas_consistent()
+
+    def test_allreduce_with_wrong_grad_shape(self):
+        models = [build_model("gcn", (4, 2), seed=0) for _ in range(2)]
+        sync = GradientSynchronizer(models)
+        with pytest.raises(ShapeError):
+            models[0].set_flat_grads(np.zeros(3))
+
+
+class TestConfigFaults:
+    def test_system_rejects_inconsistent_flags(self):
+        with pytest.raises(ReproError):
+            SystemConfig(hybrid=False, drm=True)
+
+    def test_training_rejects_nonsense(self):
+        with pytest.raises(ReproError):
+            TrainingConfig(fanouts=(0,))
+
+
+class TestHybridFaults:
+    def test_split_mutation_validated(self, tiny_ds, small_cfg,
+                                      fpga_platform):
+        from repro.runtime.hybrid import HyScaleGNN
+        from repro.perfmodel.model import WorkloadSplit
+        system = HyScaleGNN(tiny_ds, fpga_platform, small_cfg,
+                            profile_probes=2)
+        # A split with the wrong accelerator arity must be rejected at
+        # the next stage-time computation.
+        system.split = WorkloadSplit(cpu_targets=8,
+                                     accel_targets=(32,),
+                                     sample_threads=64,
+                                     load_threads=64,
+                                     train_threads=64)
+        with pytest.raises(ReproError):
+            system.perfmodel.stage_times(system.split)

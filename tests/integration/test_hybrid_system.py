@@ -1,0 +1,185 @@
+"""Integration tests for the HyScaleGNN system and ablation behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ABLATION_PRESETS,
+    SystemConfig,
+    TrainingConfig,
+)
+from repro.errors import ConfigError
+from repro.graph.datasets import load_dataset
+from repro.hw.topology import (
+    hyscale_cpu_fpga_platform,
+    hyscale_cpu_gpu_platform,
+)
+from repro.runtime.hybrid import HyScaleGNN
+
+
+@pytest.fixture(scope="module")
+def papers_small():
+    return load_dataset("papers100m", scale=1 / 8192, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sim_cfg():
+    return TrainingConfig(model="gcn", minibatch_size=256,
+                          fanouts=(10, 5), hidden_dim=64, seed=4)
+
+
+@pytest.fixture(scope="module")
+def func_cfg():
+    """Small batches so the scaled train set spans several iterations."""
+    return TrainingConfig(model="gcn", minibatch_size=16,
+                          fanouts=(10, 5), hidden_dim=64, seed=4)
+
+
+class TestConstruction:
+    def test_builds_trainers(self, papers_small, sim_cfg):
+        system = HyScaleGNN(papers_small, hyscale_cpu_fpga_platform(2),
+                            sim_cfg, profile_probes=2)
+        # hybrid default: CPU + 2 accelerators.
+        assert system.num_trainers == 3
+        kinds = [t.kind for t in system.trainers]
+        assert kinds == ["cpu", "accel", "accel"]
+        assert system.synchronizer.replicas_consistent()
+
+    def test_non_hybrid_has_no_cpu_trainer(self, papers_small, sim_cfg):
+        system = HyScaleGNN(
+            papers_small, hyscale_cpu_fpga_platform(2), sim_cfg,
+            SystemConfig(hybrid=False, drm=False, prefetch=False),
+            profile_probes=2)
+        assert system.num_trainers == 2
+        assert system.split.cpu_targets == 0
+
+    def test_no_accel_no_hybrid_rejected(self, papers_small, sim_cfg):
+        with pytest.raises(ConfigError):
+            HyScaleGNN(papers_small,
+                       hyscale_cpu_fpga_platform(4).with_accelerators(0),
+                       sim_cfg,
+                       SystemConfig(hybrid=False, drm=False,
+                                    prefetch=False))
+
+
+class TestFunctionalEpoch:
+    def test_epoch_report_fields(self, papers_small, func_cfg):
+        system = HyScaleGNN(papers_small, hyscale_cpu_fpga_platform(2),
+                            func_cfg, profile_probes=2)
+        rep = system.train_epoch(max_iterations=3)
+        assert rep.mode == "functional"
+        assert rep.iterations == 3
+        assert rep.epoch_time_s > 0
+        assert len(rep.losses) == 3
+        assert len(rep.stage_history) == 3
+        assert rep.total_edges > 0
+        assert rep.throughput_mteps > 0
+        assert rep.bottleneck_stage() in ("sample", "load", "transfer",
+                                          "propagate")
+
+    def test_epoch_covers_train_set(self, papers_small, func_cfg):
+        system = HyScaleGNN(papers_small, hyscale_cpu_fpga_platform(2),
+                            func_cfg, profile_probes=2)
+        rep = system.train_epoch()
+        covered = rep.iterations * system.split.total_targets
+        assert covered >= papers_small.train_ids.size
+
+
+class TestSimulatedEpoch:
+    def test_full_scale_iteration_count(self, papers_small, sim_cfg):
+        system = HyScaleGNN(papers_small, hyscale_cpu_fpga_platform(2),
+                            sim_cfg, full_scale=True, profile_probes=2)
+        rep = system.simulate_epoch()
+        expected = -(-papers_small.spec.train_count //
+                     system.split.total_targets)
+        assert rep.iterations == pytest.approx(expected, abs=2)
+        assert rep.mode == "simulated"
+
+    def test_deterministic_without_jitter(self, papers_small, sim_cfg):
+        def run():
+            system = HyScaleGNN(papers_small,
+                                hyscale_cpu_fpga_platform(2), sim_cfg,
+                                full_scale=True, profile_probes=2)
+            return system.simulate_epoch(jitter=False,
+                                         iterations=20).epoch_time_s
+        assert run() == pytest.approx(run())
+
+    def test_predicted_close_to_simulated(self, papers_small):
+        """Fig. 8 invariant: at the paper's batch size (1024) the model
+        error stays within ~20% (paper reports 5-14%)."""
+        cfg = TrainingConfig(model="gcn", minibatch_size=1024,
+                             fanouts=(10, 5), hidden_dim=64, seed=4)
+        system = HyScaleGNN(papers_small, hyscale_cpu_fpga_platform(2),
+                            cfg, full_scale=True, profile_probes=2)
+        actual = system.simulate_epoch().epoch_time_s
+        predicted = system.predicted_epoch_time()
+        err = abs(actual - predicted) / actual
+        assert err < 0.20
+
+    def test_prediction_underestimates(self, papers_small, sim_cfg):
+        """The analytic model omits only *costs* (launches, fill,
+        stragglers), so it must not exceed the simulated time by more
+        than jitter noise."""
+        system = HyScaleGNN(papers_small, hyscale_cpu_fpga_platform(2),
+                            sim_cfg, full_scale=True, profile_probes=2)
+        actual = system.simulate_epoch(jitter=False).epoch_time_s
+        predicted = system.predicted_epoch_time()
+        assert predicted <= actual * 1.02
+
+
+class TestAblationShape:
+    @pytest.mark.parametrize("platform_factory", [
+        hyscale_cpu_fpga_platform, hyscale_cpu_gpu_platform])
+    def test_tfp_always_helps(self, papers_small, sim_cfg,
+                              platform_factory):
+        """Fig. 11: adding TFP to hybrid+DRM never slows the epoch."""
+        times = {}
+        for name in ("hybrid_drm", "hybrid_drm_tfp"):
+            system = HyScaleGNN(papers_small, platform_factory(2),
+                                sim_cfg, ABLATION_PRESETS[name],
+                                full_scale=True, profile_probes=2)
+            times[name] = system.simulate_epoch(
+                iterations=60).epoch_time_s
+        assert times["hybrid_drm_tfp"] < times["hybrid_drm"]
+
+    def test_drm_never_hurts_much(self, papers_small, sim_cfg):
+        """The revert guard bounds DRM regressions vs static."""
+        times = {}
+        for name in ("hybrid_static", "hybrid_drm"):
+            system = HyScaleGNN(papers_small,
+                                hyscale_cpu_gpu_platform(2), sim_cfg,
+                                ABLATION_PRESETS[name],
+                                full_scale=True, profile_probes=2)
+            times[name] = system.simulate_epoch(
+                iterations=120).epoch_time_s
+        assert times["hybrid_drm"] <= times["hybrid_static"] * 1.10
+
+    def test_fpga_beats_gpu_hybrid(self, papers_small, sim_cfg):
+        """Fig. 10's headline: CPU-FPGA beats CPU-GPU at equal count."""
+        times = {}
+        for plat in (hyscale_cpu_fpga_platform(4),
+                     hyscale_cpu_gpu_platform(4)):
+            system = HyScaleGNN(papers_small, plat, sim_cfg,
+                                ABLATION_PRESETS["hybrid_drm_tfp"],
+                                full_scale=True, profile_probes=2)
+            times[plat.accelerator.kind] = \
+                system.simulate_epoch(iterations=80).epoch_time_s
+        assert times["fpga"] < times["gpu"]
+
+
+class TestDRMIntegration:
+    def test_drm_preserves_total_workload(self, papers_small, sim_cfg):
+        system = HyScaleGNN(papers_small, hyscale_cpu_gpu_platform(2),
+                            sim_cfg, ABLATION_PRESETS["hybrid_drm_tfp"],
+                            full_scale=True, profile_probes=2)
+        before = system.split.total_targets
+        system.simulate_epoch(iterations=80)
+        assert system.split.total_targets == before
+
+    def test_drm_decisions_recorded(self, papers_small, sim_cfg):
+        system = HyScaleGNN(papers_small, hyscale_cpu_gpu_platform(2),
+                            sim_cfg, ABLATION_PRESETS["hybrid_drm_tfp"],
+                            full_scale=True, profile_probes=2)
+        system.simulate_epoch(iterations=40)
+        assert system.drm is not None
+        assert len(system.drm.decisions) == 40

@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.coo import sort_edges_by_src, source_run_lengths
+from repro.graph.csr import CSRGraph
+from repro.nn.aggregators import SparseAggregator, segment_sum_aggregate
+from repro.nn.loss import softmax_cross_entropy
+from repro.sampling.base import LayerBlock, MiniBatchStats
+from repro.sim.engine import PipelineSimulator
+
+common_settings = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def edge_lists(draw, max_vertices=30, max_edges=120):
+    n = draw(st.integers(2, max_vertices))
+    m = draw(st.integers(0, max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, np.array(src, dtype=np.int64), np.array(dst,
+                                                      dtype=np.int64)
+
+
+@st.composite
+def layer_blocks(draw, max_src=20, max_edges=60):
+    num_src = draw(st.integers(1, max_src))
+    num_dst = draw(st.integers(1, num_src))
+    m = draw(st.integers(0, max_edges))
+    src = draw(st.lists(st.integers(0, num_src - 1), min_size=m,
+                        max_size=m))
+    dst = draw(st.lists(st.integers(0, num_dst - 1), min_size=m,
+                        max_size=m))
+    return LayerBlock(np.array(src, dtype=np.int64),
+                      np.array(dst, dtype=np.int64), num_src, num_dst)
+
+
+# ---------------------------------------------------------------------------
+# CSR invariants
+# ---------------------------------------------------------------------------
+
+class TestCSRProperties:
+    @common_settings
+    @given(edge_lists())
+    def test_from_edges_preserves_multiset(self, data):
+        n, src, dst = data
+        g = CSRGraph.from_edges(src, dst, n)
+        s2, d2 = g.edges()
+        want = sorted(zip(src.tolist(), dst.tolist()))
+        got = sorted(zip(s2.tolist(), d2.tolist()))
+        assert want == got
+
+    @common_settings
+    @given(edge_lists())
+    def test_degree_sum_equals_edges(self, data):
+        n, src, dst = data
+        g = CSRGraph.from_edges(src, dst, n)
+        assert g.out_degrees.sum() == g.num_edges
+
+    @common_settings
+    @given(edge_lists())
+    def test_transpose_involution(self, data):
+        """Double transpose preserves the edge multiset (within-row
+        ordering of parallel edges may legally differ)."""
+        n, src, dst = data
+        g = CSRGraph.from_edges(src, dst, n)
+        tt = g.transpose().transpose()
+        assert sorted(zip(*[a.tolist() for a in g.edges()])) == \
+            sorted(zip(*[a.tolist() for a in tt.edges()]))
+
+    @common_settings
+    @given(edge_lists())
+    def test_symmetrize_is_symmetric_and_superset(self, data):
+        n, src, dst = data
+        g = CSRGraph.from_edges(src, dst, n, dedup=True)
+        s = g.symmetrize()
+        # Every original edge survives.
+        orig = set(zip(*[a.tolist() for a in g.edges()]))
+        symm = set(zip(*[a.tolist() for a in s.edges()]))
+        assert orig <= symm
+        assert {(b, a) for a, b in symm} == symm
+
+
+# ---------------------------------------------------------------------------
+# COO helpers
+# ---------------------------------------------------------------------------
+
+class TestCOOProperties:
+    @common_settings
+    @given(edge_lists())
+    def test_sort_preserves_pairs(self, data):
+        n, src, dst = data
+        s, d = sort_edges_by_src(src, dst)
+        assert sorted(zip(src.tolist(), dst.tolist())) == \
+            sorted(zip(s.tolist(), d.tolist()))
+        assert (np.diff(s) >= 0).all()
+
+    @common_settings
+    @given(edge_lists())
+    def test_run_lengths_partition_edges(self, data):
+        n, src, dst = data
+        s, _ = sort_edges_by_src(src, dst)
+        runs = source_run_lengths(s)
+        assert runs.sum() == s.size
+        assert (runs > 0).all()
+
+
+# ---------------------------------------------------------------------------
+# Aggregation equivalence (sparse-matmul path vs FPGA-style scatter path)
+# ---------------------------------------------------------------------------
+
+class TestAggregationProperties:
+    @common_settings
+    @given(layer_blocks(), st.integers(1, 8), st.integers(0, 10**6))
+    def test_two_paths_agree(self, blk, feat, seed):
+        rng = np.random.default_rng(seed)
+        h = rng.standard_normal((blk.num_src, feat))
+        w = rng.random(blk.num_edges)
+        a = SparseAggregator(blk, w).forward(h)
+        b = segment_sum_aggregate(blk, h, w)
+        assert np.allclose(a, b, rtol=1e-9, atol=1e-9)
+
+    @common_settings
+    @given(layer_blocks(), st.integers(1, 6), st.integers(0, 10**6))
+    def test_adjoint_identity(self, blk, feat, seed):
+        """<S h, g> == <h, S^T g> for arbitrary blocks."""
+        rng = np.random.default_rng(seed)
+        agg = SparseAggregator(blk)
+        h = rng.standard_normal((blk.num_src, feat))
+        g = rng.standard_normal((blk.num_dst, feat))
+        assert np.isclose(np.sum(agg.forward(h) * g),
+                          np.sum(h * agg.backward(g)))
+
+    @common_settings
+    @given(layer_blocks(), st.integers(1, 6))
+    def test_linearity(self, blk, feat):
+        rng = np.random.default_rng(0)
+        agg = SparseAggregator(blk)
+        h1 = rng.standard_normal((blk.num_src, feat))
+        h2 = rng.standard_normal((blk.num_src, feat))
+        assert np.allclose(agg.forward(h1 + h2),
+                           agg.forward(h1) + agg.forward(h2))
+
+
+# ---------------------------------------------------------------------------
+# Loss properties
+# ---------------------------------------------------------------------------
+
+class TestLossProperties:
+    @common_settings
+    @given(st.integers(1, 16), st.integers(2, 10),
+           st.integers(0, 10**6))
+    def test_loss_nonnegative_and_grad_mean_zero(self, batch, classes,
+                                                 seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal((batch, classes)) * 5
+        labels = rng.integers(0, classes, batch)
+        loss, dl = softmax_cross_entropy(logits, labels)
+        assert loss >= 0
+        assert np.allclose(dl.sum(axis=1), 0, atol=1e-12)
+        # Gradient row norms are bounded by 2/batch for CE-softmax.
+        assert (np.abs(dl) <= 1.0 / batch + 1e-12).all()
+
+    @common_settings
+    @given(st.integers(1, 16), st.integers(2, 10),
+           st.floats(-3, 3), st.integers(0, 10**6))
+    def test_shift_invariance(self, batch, classes, shift, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal((batch, classes))
+        labels = rng.integers(0, classes, batch)
+        l1, _ = softmax_cross_entropy(logits, labels)
+        l2, _ = softmax_cross_entropy(logits + shift, labels)
+        assert np.isclose(l1, l2, rtol=1e-9, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline schedule invariants
+# ---------------------------------------------------------------------------
+
+class TestPipelineProperties:
+    @common_settings
+    @given(st.lists(st.lists(st.floats(0.0, 5.0), min_size=3,
+                             max_size=3),
+                    min_size=1, max_size=12),
+           st.integers(0, 4))
+    def test_schedule_respects_all_constraints(self, rows, depth):
+        sim = PipelineSimulator(["a", "b", "c"], prefetch_depth=depth)
+        scheds = sim.schedules(rows)
+        a, b, c = scheds
+        for k_prev, k_next in ((a, b), (b, c)):
+            assert (k_next.start >= k_prev.finish - 1e-9).all()
+        for s in scheds:
+            if len(rows) > 1:
+                assert (s.start[1:] >= s.finish[:-1] - 1e-9).all()
+
+    @common_settings
+    @given(st.lists(st.lists(st.floats(0.01, 5.0), min_size=3,
+                             max_size=3),
+                    min_size=1, max_size=10))
+    def test_deeper_prefetch_never_slower(self, rows):
+        m = [PipelineSimulator(["a", "b", "c"], d).makespan(rows)
+             for d in (0, 1, 2, 4)]
+        for earlier, later in zip(m, m[1:]):
+            assert later <= earlier + 1e-9
+
+    @common_settings
+    @given(st.lists(st.lists(st.floats(0.01, 5.0), min_size=2,
+                             max_size=2),
+                    min_size=1, max_size=10))
+    def test_makespan_bounds(self, rows):
+        """max-stage lower bound; sum-of-everything upper bound."""
+        sim = PipelineSimulator(["a", "b"], 2)
+        mk = sim.makespan(rows)
+        lower = max(sum(r[k] for r in rows) for k in range(2))
+        upper = sum(sum(r) for r in rows)
+        assert lower - 1e-9 <= mk <= upper + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# MiniBatchStats scaling
+# ---------------------------------------------------------------------------
+
+class TestStatsProperties:
+    @common_settings
+    @given(st.integers(1, 10**5), st.integers(1, 10**5),
+           st.integers(1, 512),
+           st.floats(0.01, 10.0))
+    def test_scaled_stays_positive_and_monotone(self, v, e, f, factor):
+        st_ = MiniBatchStats((v, max(1, v // 2)), (e,), f)
+        scaled = st_.scaled(factor)
+        assert min(scaled.num_nodes_per_layer) >= 1
+        assert min(scaled.num_edges_per_layer) >= 1
+        if factor >= 1.0:
+            assert scaled.total_edges >= st_.total_edges * 0.9

@@ -1,0 +1,73 @@
+"""Unit tests for the bench harness (formatting, aggregation)."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    format_series,
+    format_table,
+    geomean,
+)
+from repro.errors import ConfigError
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table("T", ["a", "b"], [(1, 2.5), ("x", 0.001)])
+        assert "== T ==" in text
+        assert "a" in text and "b" in text
+        assert "2.50" in text
+        assert "0.001" in text
+
+    def test_notes_rendered(self):
+        text = format_table("T", ["a"], [(1,)], notes=["hello"])
+        assert "note: hello" in text
+
+    def test_empty_rows(self):
+        text = format_table("T", ["col"], [])
+        assert "col" in text
+
+    def test_large_values_compact(self):
+        text = format_table("T", ["v"], [(12345.678,)])
+        assert "12346" in text
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        res = ExperimentResult("t", ["x", "y"])
+        res.add_row(1, 2)
+        res.add_row(3, 4)
+        assert res.column("y") == [2, 4]
+        assert "== t ==" in res.render()
+
+    def test_row_arity_checked(self):
+        res = ExperimentResult("t", ["x", "y"])
+        with pytest.raises(ConfigError):
+            res.add_row(1)
+
+    def test_unknown_column(self):
+        res = ExperimentResult("t", ["x"])
+        with pytest.raises(ValueError):
+            res.column("z")
+
+
+class TestSeries:
+    def test_format_series(self):
+        text = format_series("S", "n", [1, 2, 4],
+                             {"gcn": [1.0, 1.9, 3.5]})
+        assert "gcn" in text and "3.50" in text
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2.0, 0.0, -1.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            geomean([0.0])

@@ -1,0 +1,327 @@
+"""Unit tests for the nn package (layers, models, loss, optim)."""
+
+import numpy as np
+import pytest
+
+from repro.config import layer_dims
+from repro.errors import ConfigError, ShapeError
+from repro.nn.activations import relu, relu_grad
+from repro.nn.aggregators import (
+    SparseAggregator,
+    add_self_edges,
+    gcn_edge_weights,
+    mean_edge_weights,
+    segment_sum_aggregate,
+)
+from repro.nn.gradcheck import check_model_gradients
+from repro.nn.init import xavier_uniform, zeros_init
+from repro.nn.layers import GCNLayer, SAGELayer
+from repro.nn.linear import Linear
+from repro.nn.loss import accuracy, softmax_cross_entropy
+from repro.nn.models import GNNModel, build_model, model_size_bytes
+from repro.nn.optim import SGD, Adam
+from repro.sampling.base import LayerBlock
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+def _block():
+    # 3 sources, 2 destinations, 4 edges.
+    return LayerBlock(np.array([0, 1, 2, 2]), np.array([0, 0, 1, 0]),
+                      3, 2)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert list(relu(x)) == [0.0, 0.0, 2.0]
+
+    def test_relu_grad_zero_at_kink(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        g = relu_grad(x, np.ones(3))
+        assert list(g) == [0.0, 0.0, 1.0]
+
+
+class TestInit:
+    def test_xavier_bounds(self):
+        W = xavier_uniform((50, 30), _rng())
+        bound = np.sqrt(6.0 / 80)
+        assert np.abs(W).max() <= bound
+        assert W.shape == (50, 30)
+
+    def test_xavier_requires_2d(self):
+        with pytest.raises(ShapeError):
+            xavier_uniform((5,), _rng())
+
+    def test_zeros(self):
+        assert not zeros_init((3,)).any()
+
+
+class TestAggregators:
+    def test_sparse_forward(self):
+        agg = SparseAggregator(_block())
+        h = np.arange(6, dtype=np.float64).reshape(3, 2)
+        out = agg.forward(h)
+        # dst0 <- src0 + src1 + src2 ; dst1 <- src2
+        assert np.allclose(out[0], h[0] + h[1] + h[2])
+        assert np.allclose(out[1], h[2])
+
+    def test_sparse_backward_is_transpose(self):
+        agg = SparseAggregator(_block())
+        rng = _rng()
+        h = rng.standard_normal((3, 4))
+        g = rng.standard_normal((2, 4))
+        # <S h, g> == <h, S^T g>
+        lhs = np.sum(agg.forward(h) * g)
+        rhs = np.sum(h * agg.backward(g))
+        assert np.isclose(lhs, rhs)
+
+    def test_segment_sum_matches_sparse(self):
+        blk = _block()
+        rng = _rng()
+        h = rng.standard_normal((3, 5))
+        w = rng.random(4)
+        a = SparseAggregator(blk, w).forward(h)
+        b = segment_sum_aggregate(blk, h, w)
+        assert np.allclose(a, b)
+
+    def test_duplicate_edges_sum(self):
+        blk = LayerBlock(np.array([0, 0]), np.array([0, 0]), 1, 1)
+        h = np.ones((1, 3))
+        out = SparseAggregator(blk).forward(h)
+        assert np.allclose(out, 2.0)
+
+    def test_mean_weights(self):
+        w = mean_edge_weights(_block())
+        # dst0 has 3 in-edges, dst1 has 1.
+        assert np.allclose(w, [1 / 3, 1 / 3, 1.0, 1 / 3])
+
+    def test_mean_weights_isolated_dst(self):
+        blk = LayerBlock(np.array([0]), np.array([0]), 2, 2)
+        w = mean_edge_weights(blk)
+        assert w.shape == (1,)
+
+    def test_gcn_weights(self):
+        blk = _block()
+        w = gcn_edge_weights(blk, np.array([1, 1, 3, 3]),
+                             np.array([1, 1, 1, 1]))
+        assert np.allclose(w[0], 1.0 / 2.0)        # 1/sqrt(2*2)
+        assert np.allclose(w[2], 1.0 / np.sqrt(8))
+
+    def test_gcn_weights_shape_check(self):
+        with pytest.raises(ShapeError):
+            gcn_edge_weights(_block(), np.array([1.0]), np.array([1.0]))
+
+    def test_add_self_edges(self):
+        blk = add_self_edges(_block())
+        assert blk.num_edges == 6
+        pairs = set(zip(blk.src_local.tolist(), blk.dst_local.tolist()))
+        assert (0, 0) in pairs and (1, 1) in pairs
+
+    def test_shape_mismatch_raises(self):
+        agg = SparseAggregator(_block())
+        with pytest.raises(ShapeError):
+            agg.forward(np.zeros((4, 2)))
+        with pytest.raises(ShapeError):
+            agg.backward(np.zeros((3, 2)))
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        lin = Linear(4, 3, _rng())
+        y = lin.forward(np.ones((5, 4)))
+        assert y.shape == (5, 3)
+
+    def test_backward_accumulates(self):
+        lin = Linear(2, 2, _rng())
+        x = np.ones((3, 2))
+        g = np.ones((3, 2))
+        lin.backward(x, g)
+        dW1 = lin.dW.copy()
+        lin.backward(x, g)
+        assert np.allclose(lin.dW, 2 * dW1)
+        lin.zero_grad()
+        assert not lin.dW.any() and not lin.db.any()
+
+    def test_backward_returns_input_grad(self):
+        lin = Linear(3, 2, _rng())
+        x = _rng().standard_normal((4, 3))
+        g = _rng().standard_normal((4, 2))
+        dx = lin.backward(x, g)
+        assert np.allclose(dx, g @ lin.W.T)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ShapeError):
+            Linear(0, 3, _rng())
+        lin = Linear(2, 2, _rng())
+        with pytest.raises(ShapeError):
+            lin.forward(np.zeros((3, 5)))
+
+
+class TestLoss:
+    def test_uniform_logits_loss(self):
+        logits = np.zeros((4, 8))
+        loss, dl = softmax_cross_entropy(logits, np.zeros(4, dtype=int))
+        assert np.isclose(loss, np.log(8))
+        assert dl.shape == (4, 8)
+
+    def test_gradient_sums_to_zero(self):
+        rng = _rng()
+        logits = rng.standard_normal((6, 5))
+        _, dl = softmax_cross_entropy(logits, rng.integers(0, 5, 6))
+        assert np.allclose(dl.sum(axis=1), 0.0)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss, _ = softmax_cross_entropy(logits, np.array([1, 2]))
+        assert loss < 1e-6
+
+    def test_numeric_gradient(self):
+        rng = _rng()
+        logits = rng.standard_normal((3, 4))
+        labels = np.array([0, 2, 1])
+        _, dl = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                logits[i, j] += eps
+                lp, _ = softmax_cross_entropy(logits, labels)
+                logits[i, j] -= 2 * eps
+                lm, _ = softmax_cross_entropy(logits, labels)
+                logits[i, j] += eps
+                assert np.isclose((lp - lm) / (2 * eps), dl[i, j],
+                                  atol=1e-6)
+
+    def test_errors(self):
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros(3), np.zeros(3, dtype=int))
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros((2, 3)),
+                                  np.array([0, 5]))
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros((0, 3)),
+                                  np.zeros(0, dtype=int))
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+        assert accuracy(np.zeros((0, 2)), np.zeros(0)) == 0.0
+
+
+class TestModels:
+    def test_build_model_layer_shapes(self):
+        m = build_model("gcn", (8, 16, 4), seed=0)
+        assert len(m.layers) == 2
+        assert m.layers[0].linear.W.shape == (8, 16)
+        assert m.layers[1].linear.W.shape == (16, 4)
+        assert m.layers[0].activation and not m.layers[1].activation
+
+    def test_sage_doubles_input(self):
+        m = build_model("sage", (8, 16, 4), seed=0)
+        assert m.layers[0].linear.W.shape == (16, 16)
+
+    def test_build_model_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            build_model("gat", (8, 4))
+        with pytest.raises(ConfigError):
+            build_model("gcn", (8,))
+
+    def test_same_seed_identical(self):
+        a = build_model("gcn", (8, 16, 4), seed=5)
+        b = build_model("gcn", (8, 16, 4), seed=5)
+        assert np.array_equal(a.get_flat_params(), b.get_flat_params())
+
+    def test_flat_roundtrip(self):
+        m = build_model("sage", (6, 12, 3), seed=1)
+        flat = m.get_flat_params()
+        m2 = build_model("sage", (6, 12, 3), seed=2)
+        m2.set_flat_params(flat)
+        assert np.array_equal(m2.get_flat_params(), flat)
+        with pytest.raises(ShapeError):
+            m2.set_flat_params(flat[:-1])
+
+    def test_state_dict_roundtrip(self):
+        m = build_model("gcn", (4, 8, 2), seed=3)
+        state = m.state_dict()
+        m2 = build_model("gcn", (4, 8, 2), seed=4)
+        m2.load_state_dict(state)
+        assert np.array_equal(m.get_flat_params(),
+                              m2.get_flat_params())
+
+    def test_model_size_bytes(self):
+        dims = (128, 256, 172)
+        assert model_size_bytes(dims, "gcn") == \
+            (128 * 256 + 256 * 172) * 4
+        assert model_size_bytes(dims, "sage") == \
+            2 * (128 * 256 + 256 * 172) * 4
+
+    def test_backward_before_forward_raises(self):
+        m = build_model("gcn", (4, 2), seed=0)
+        with pytest.raises(ShapeError):
+            m.backward(np.zeros((1, 2)))
+
+
+class TestGradcheck:
+    @pytest.mark.parametrize("model", ["gcn", "sage"])
+    def test_model_gradients(self, model, tiny_ds, tiny_sampler):
+        mb = tiny_sampler.sample(tiny_ds.train_ids[:8])
+        x0 = tiny_ds.features[mb.input_nodes].astype(np.float64)
+        labels = tiny_ds.labels[mb.targets]
+        m = build_model(model,
+                        layer_dims(tiny_ds.spec.feature_dim, 10,
+                                   tiny_ds.spec.num_classes, 2), seed=3)
+        worst = check_model_gradients(
+            m, mb, x0, labels,
+            global_degrees=tiny_ds.graph.out_degrees, max_entries=12)
+        assert worst < 1e-3
+
+
+class TestOptim:
+    def _loss(self, m, x):
+        return float(((x @ m.layers[0].linear.W) ** 2).sum())
+
+    def test_sgd_step_direction(self):
+        m = build_model("gcn", (3, 2), seed=0)
+        opt = SGD(m, lr=0.1)
+        g = np.ones_like(m.layers[0].linear.dW)
+        m.layers[0].linear.dW += g
+        before = m.layers[0].linear.W.copy()
+        opt.step()
+        assert np.allclose(m.layers[0].linear.W, before - 0.1)
+
+    def test_sgd_momentum_accumulates(self):
+        m = build_model("gcn", (3, 2), seed=0)
+        opt = SGD(m, lr=0.1, momentum=0.9)
+        before = m.layers[0].linear.W.copy()
+        for _ in range(2):
+            m.zero_grad()
+            m.layers[0].linear.dW += 1.0
+            opt.step()
+        # Second step includes momentum: total = 0.1 + 0.1*1.9.
+        assert np.allclose(m.layers[0].linear.W, before - 0.1 - 0.19)
+
+    def test_adam_converges_quadratic(self):
+        m = build_model("gcn", (3, 3), seed=1)
+        opt = Adam(m, lr=0.05)
+        for _ in range(300):
+            m.zero_grad()
+            m.layers[0].linear.dW += 2 * m.layers[0].linear.W
+            m.layers[0].linear.db += 2 * m.layers[0].linear.b
+            opt.step()
+        assert np.abs(m.layers[0].linear.W).max() < 1e-2
+
+    def test_invalid_hyperparams(self):
+        m = build_model("gcn", (3, 2), seed=0)
+        with pytest.raises(ConfigError):
+            SGD(m, lr=0.0)
+        with pytest.raises(ConfigError):
+            SGD(m, lr=0.1, momentum=1.0)
+        with pytest.raises(ConfigError):
+            Adam(m, lr=-1.0)
+        with pytest.raises(ConfigError):
+            Adam(m, beta1=1.0)

@@ -1,0 +1,220 @@
+"""Unit tests for the perfmodel package (Eq. 5-13, profiling, mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.config import S_FEAT_BYTES, layer_dims
+from repro.errors import ConfigError, SamplingError
+from repro.graph.datasets import load_dataset
+from repro.hw.topology import (
+    hyscale_cpu_fpga_platform,
+    hyscale_cpu_gpu_platform,
+)
+from repro.nn.models import model_size_bytes
+from repro.perfmodel.mapping import initial_mapping
+from repro.perfmodel.model import (
+    PerformanceModel,
+    StageTimes,
+    WorkloadSplit,
+    throughput_mteps,
+)
+from repro.perfmodel.sampling_profile import (
+    SamplingProfile,
+    project_full_scale_stats,
+)
+from repro.sampling.base import MiniBatchStats
+from repro.sampling.neighbor import NeighborSampler
+
+
+@pytest.fixture(scope="module")
+def small_products():
+    return load_dataset("products", scale=1 / 2048, seed=0)
+
+
+@pytest.fixture(scope="module")
+def profile(small_products):
+    ds = small_products
+    sampler = NeighborSampler(ds.graph,
+                              np.arange(ds.graph.num_vertices),
+                              (10, 5), ds.spec.feature_dim, seed=1)
+    return SamplingProfile.measure(sampler, 256, num_probes=4)
+
+
+@pytest.fixture(scope="module")
+def fpga_pm(small_products, profile):
+    dims = layer_dims(small_products.spec.feature_dim, 64,
+                      small_products.spec.num_classes, 2)
+    return PerformanceModel(hyscale_cpu_fpga_platform(2), dims, "gcn",
+                            profile)
+
+
+def _split(n_accel=2, cpu=128):
+    return WorkloadSplit(cpu_targets=cpu,
+                         accel_targets=(256,) * n_accel,
+                         sample_threads=96, load_threads=64,
+                         train_threads=96)
+
+
+class TestSamplingProfile:
+    def test_measure_stats_sane(self, profile):
+        st = profile.mean_stats
+        assert st.num_targets == 256
+        assert st.num_input_nodes >= st.num_targets
+        assert all(e > 0 for e in st.num_edges_per_layer)
+        assert profile.rel_std >= 0
+
+    def test_expected_stats_scaling(self, profile):
+        half = profile.expected_stats(128)
+        assert half.num_targets == pytest.approx(128, rel=0.05)
+        with pytest.raises(SamplingError):
+            profile.expected_stats(0)
+
+    def test_sampling_time_monotone(self, profile):
+        t1 = profile.sampling_time(256, 1e6)
+        t2 = profile.sampling_time(512, 1e6)
+        assert t2 > t1
+        assert profile.sampling_time(256, 2e6) == pytest.approx(t1 / 2)
+
+    def test_projection_exceeds_scaled(self, small_products, profile):
+        """At full scale, dedup collapses far less: |V^0| grows."""
+        proj = project_full_scale_stats(small_products.graph,
+                                        small_products.spec,
+                                        (10, 5), 256)
+        assert proj.num_input_nodes > profile.mean_stats.num_input_nodes
+        assert proj.num_targets == 256
+
+    def test_projection_respects_fanout_cap(self, small_products):
+        proj = project_full_scale_stats(small_products.graph,
+                                        small_products.spec,
+                                        (10, 5), 256)
+        # Hop-1 edges can't exceed targets x fanout.
+        assert proj.num_edges_per_layer[-1] <= 256 * 10
+
+
+class TestWorkloadSplit:
+    def test_totals(self):
+        s = _split()
+        assert s.total_targets == 128 + 512
+        assert s.total_threads == 256
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadSplit(cpu_targets=-1, accel_targets=(256,))
+        with pytest.raises(ConfigError):
+            WorkloadSplit(cpu_targets=0, accel_targets=(256,),
+                          sample_threads=0)
+        with pytest.raises(ConfigError):
+            WorkloadSplit(cpu_targets=10, accel_targets=(),
+                          train_threads=0)
+        with pytest.raises(ConfigError):
+            WorkloadSplit(cpu_targets=0, accel_targets=(256,),
+                          accel_sample_fraction=1.5)
+
+
+class TestStageTimes:
+    def test_composition(self):
+        st = StageTimes(t_sample_cpu=1.0, t_sample_accel=2.0,
+                        t_load=0.5, t_transfer=3.0, t_train_cpu=1.5,
+                        t_train_accel=2.5, t_sync=0.1)
+        assert st.t_sample == 2.0
+        assert st.t_accel == 3.0
+        assert st.t_prop == 2.6
+        assert st.iteration_time(True) == pytest.approx(3.0)
+        assert st.iteration_time(False) == pytest.approx(
+            2.0 + 0.5 + 3.0 + 2.6)
+        assert set(st.as_dict()) == {
+            "sample_cpu", "sample_accel", "load", "transfer",
+            "train_cpu", "train_accel", "sync"}
+
+    def test_throughput_mteps(self):
+        assert throughput_mteps(2e6, 1.0) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            throughput_mteps(1.0, 0.0)
+
+
+class TestPerformanceModel:
+    def test_stage_times_positive(self, fpga_pm):
+        st = fpga_pm.stage_times(_split())
+        d = st.as_dict()
+        for key in ("sample_cpu", "load", "transfer", "train_cpu",
+                    "train_accel", "sync"):
+            assert d[key] > 0, key
+
+    def test_sync_matches_eq13(self, fpga_pm):
+        st = fpga_pm.stage_times(_split())
+        expected = 2.0 * model_size_bytes(fpga_pm.dims, "gcn",
+                                          S_FEAT_BYTES) / \
+            fpga_pm.platform.pcie.bandwidth
+        assert st.t_sync == pytest.approx(expected)
+
+    def test_load_scales_with_trainers(self, fpga_pm):
+        light = fpga_pm.stage_times(_split(cpu=0))
+        heavy = fpga_pm.stage_times(_split(cpu=256))
+        assert heavy.t_load > light.t_load
+
+    def test_transfer_excludes_cpu_batch(self, fpga_pm):
+        a = fpga_pm.stage_times(_split(cpu=0))
+        b = fpga_pm.stage_times(_split(cpu=512))
+        # CPU batches never cross PCIe.
+        assert a.t_transfer == pytest.approx(b.t_transfer)
+
+    def test_accel_sampling_split(self, fpga_pm):
+        none = fpga_pm.stage_times(_split())
+        some = fpga_pm.stage_times(
+            _split().with_updates(accel_sample_fraction=0.5))
+        assert some.t_sample_accel > 0
+        assert some.t_sample_cpu < none.t_sample_cpu
+        assert none.t_sample_accel == 0.0
+
+    def test_split_validation(self, fpga_pm):
+        with pytest.raises(ConfigError):
+            fpga_pm.stage_times(_split(n_accel=3))
+        with pytest.raises(ConfigError):
+            fpga_pm.stage_times(_split().with_updates(
+                sample_threads=300))
+
+    def test_epoch_time_scales_with_train_count(self, fpga_pm):
+        s = _split()
+        assert fpga_pm.epoch_time(s, 100_000) > \
+            fpga_pm.epoch_time(s, 10_000)
+
+    def test_throughput_positive(self, fpga_pm):
+        assert fpga_pm.throughput(_split()) > 0
+
+    def test_gpu_platform_model(self, small_products, profile):
+        dims = layer_dims(small_products.spec.feature_dim, 64,
+                          small_products.spec.num_classes, 2)
+        pm = PerformanceModel(hyscale_cpu_gpu_platform(2), dims, "gcn",
+                              profile)
+        st = pm.stage_times(_split())
+        assert st.t_train_accel > 0
+
+    def test_rejects_bad_model_name(self, small_products, profile):
+        dims = layer_dims(small_products.spec.feature_dim, 64,
+                          small_products.spec.num_classes, 2)
+        with pytest.raises(ConfigError):
+            PerformanceModel(hyscale_cpu_fpga_platform(2), dims, "gat",
+                             profile)
+
+
+class TestMapping:
+    def test_mapping_feasible(self, fpga_pm):
+        res = initial_mapping(fpga_pm, 256)
+        fpga_pm.validate_split(res.split)
+        assert res.predicted_iteration_s > 0
+        assert res.candidates_evaluated >= 3
+
+    def test_fine_beats_or_matches_coarse(self, fpga_pm):
+        coarse = initial_mapping(fpga_pm, 256, coarse=True)
+        fine = initial_mapping(fpga_pm, 256, coarse=False)
+        per_t = lambda r: r.predicted_iteration_s / \
+            r.split.total_targets
+        assert per_t(fine) <= per_t(coarse) * 1.001
+
+    def test_non_hybrid_mapping_has_no_cpu_work(self, fpga_pm):
+        res = initial_mapping(fpga_pm, 256, hybrid=False)
+        assert res.split.cpu_targets == 0
+
+    def test_invalid_minibatch(self, fpga_pm):
+        with pytest.raises(ConfigError):
+            initial_mapping(fpga_pm, 0)

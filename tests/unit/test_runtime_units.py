@@ -1,0 +1,377 @@
+"""Unit tests for runtime components: protocol, synchronizer, trainer,
+prefetch buffer, and the DRM engine."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig, layer_dims
+from repro.errors import ProtocolError, ShapeError
+from repro.nn.models import build_model
+from repro.perfmodel.model import StageTimes, WorkloadSplit
+from repro.runtime.drm import MIN_ACCEL_TARGETS, DRMEngine
+from repro.runtime.prefetch import PrefetchBuffer
+from repro.runtime.protocol import (
+    ProtocolLog,
+    Signal,
+    validate_protocol,
+)
+from repro.runtime.synchronizer import GradientSynchronizer
+from repro.runtime.trainer import TrainerNode
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+def _good_log(n=3, iterations=2):
+    log = ProtocolLog()
+    for it in range(iterations):
+        for i in range(n):
+            log.record(it, Signal.DONE, f"t{i}")
+        log.record(it, Signal.SYNC, "sync")
+        for i in range(n):
+            log.record(it, Signal.ACK, f"t{i}")
+    return log
+
+
+class TestProtocol:
+    def test_valid_log_passes(self):
+        validate_protocol(_good_log(), 3)
+
+    def test_missing_done_fails(self):
+        log = ProtocolLog()
+        log.record(0, Signal.DONE, "t0")
+        log.record(0, Signal.SYNC, "sync")
+        log.record(0, Signal.ACK, "t0")
+        log.record(0, Signal.ACK, "t1")
+        with pytest.raises(ProtocolError):
+            validate_protocol(log, 2)
+
+    def test_ack_before_sync_fails(self):
+        log = ProtocolLog()
+        log.record(0, Signal.DONE, "t0")
+        log.record(0, Signal.ACK, "t0")
+        log.record(0, Signal.SYNC, "sync")
+        with pytest.raises(ProtocolError):
+            validate_protocol(log, 1)
+
+    def test_duplicate_sender_fails(self):
+        log = ProtocolLog()
+        log.record(0, Signal.DONE, "t0")
+        log.record(0, Signal.DONE, "t0")
+        log.record(0, Signal.SYNC, "sync")
+        log.record(0, Signal.ACK, "t0")
+        log.record(0, Signal.ACK, "t1")
+        with pytest.raises(ProtocolError):
+            validate_protocol(log, 2)
+
+    def test_interleaved_iterations_fail(self):
+        log = ProtocolLog()
+        log.record(1, Signal.DONE, "t0")   # iteration 1 starts first
+        log.record(1, Signal.SYNC, "sync")
+        log.record(1, Signal.ACK, "t0")
+        log.record(0, Signal.DONE, "t0")
+        log.record(0, Signal.SYNC, "sync")
+        log.record(0, Signal.ACK, "t0")
+        with pytest.raises(ProtocolError):
+            validate_protocol(log, 1)
+
+    def test_counts(self):
+        log = _good_log(2, 1)
+        assert log.count(0, Signal.DONE) == 2
+        assert log.num_iterations == 1
+
+
+# ---------------------------------------------------------------------------
+# Synchronizer
+# ---------------------------------------------------------------------------
+
+def _replicas(n=3, seed=0):
+    return [build_model("gcn", (4, 6, 2), seed=seed) for _ in range(n)]
+
+
+class TestSynchronizer:
+    def test_weighted_average(self):
+        models = _replicas(2)
+        sync = GradientSynchronizer(models, weighting="batch")
+        models[0].layers[0].linear.dW += 1.0
+        models[1].layers[0].linear.dW += 3.0
+        sync.all_reduce(batch_sizes=[1, 3])
+        expected = (1.0 * 1 + 3.0 * 3) / 4
+        for m in models:
+            assert np.allclose(m.layers[0].linear.dW, expected)
+
+    def test_uniform_average(self):
+        models = _replicas(2)
+        sync = GradientSynchronizer(models, weighting="uniform")
+        models[0].layers[0].linear.dW += 2.0
+        sync.all_reduce()
+        for m in models:
+            assert np.allclose(m.layers[0].linear.dW, 1.0)
+
+    def test_zero_weight_trainer_excluded(self):
+        models = _replicas(2)
+        sync = GradientSynchronizer(models)
+        models[0].layers[0].linear.dW += 2.0
+        models[1].layers[0].linear.dW += 999.0
+        sync.all_reduce(batch_sizes=[4, 0])
+        for m in models:
+            assert np.allclose(m.layers[0].linear.dW, 2.0)
+
+    def test_done_counting_with_log(self):
+        models = _replicas(2)
+        sync = GradientSynchronizer(models)
+        log = ProtocolLog()
+        sync.attach_log(log)
+        sync.signal_done("a", 0)
+        with pytest.raises(ProtocolError):
+            sync.all_reduce(batch_sizes=[1, 1], iteration=0)
+        sync.signal_done("b", 0)
+        sync.all_reduce(batch_sizes=[1, 1], iteration=0)
+        assert log.count(0, Signal.DONE) == 2
+
+    def test_too_many_dones(self):
+        sync = GradientSynchronizer(_replicas(1))
+        sync.signal_done("a")
+        with pytest.raises(ProtocolError):
+            sync.signal_done("b")
+
+    def test_broadcast_parameters(self):
+        models = [build_model("gcn", (4, 2), seed=i) for i in range(3)]
+        sync = GradientSynchronizer(models)
+        assert not sync.replicas_consistent()
+        sync.broadcast_parameters(0)
+        assert sync.replicas_consistent()
+
+    def test_batch_sizes_required(self):
+        sync = GradientSynchronizer(_replicas(2))
+        with pytest.raises(ProtocolError):
+            sync.all_reduce()
+        with pytest.raises(ShapeError):
+            sync.all_reduce(batch_sizes=[1])
+
+    def test_mismatched_replicas(self):
+        with pytest.raises(ShapeError):
+            GradientSynchronizer([build_model("gcn", (4, 2), 0),
+                                  build_model("gcn", (4, 3), 0)])
+
+
+# ---------------------------------------------------------------------------
+# TrainerNode
+# ---------------------------------------------------------------------------
+
+class TestTrainerNode:
+    def test_functional_training(self, tiny_ds, tiny_sampler):
+        dims = layer_dims(tiny_ds.spec.feature_dim, 8,
+                          tiny_ds.spec.num_classes, 2)
+        node = TrainerNode("t", "cpu", build_model("sage", dims, 0),
+                           None, dims, "sage")
+        mb = tiny_sampler.sample(tiny_ds.train_ids[:16])
+        x0 = tiny_ds.features[mb.input_nodes].astype(np.float64)
+        rep = node.train_minibatch(mb, x0, tiny_ds.labels[mb.targets],
+                                   tiny_ds.graph.out_degrees)
+        assert rep.loss > 0
+        assert rep.batch_targets == 16
+        assert rep.propagation is None
+        grads = node.model.get_flat_grads()
+        assert np.abs(grads).sum() > 0
+
+    def test_kernel_model_timing_attached(self, tiny_ds, tiny_sampler):
+        from repro.hw.kernels import CPUKernelModel
+        from repro.hw.specs import AMD_EPYC_7763
+        dims = layer_dims(tiny_ds.spec.feature_dim, 8,
+                          tiny_ds.spec.num_classes, 2)
+        node = TrainerNode("t", "cpu", build_model("gcn", dims, 0),
+                           CPUKernelModel(AMD_EPYC_7763), dims, "gcn")
+        mb = tiny_sampler.sample(tiny_ds.train_ids[:8])
+        x0 = tiny_ds.features[mb.input_nodes].astype(np.float64)
+        rep = node.train_minibatch(mb, x0, tiny_ds.labels[mb.targets],
+                                   tiny_ds.graph.out_degrees)
+        assert rep.propagation is not None
+        assert rep.propagation.total_s > 0
+
+    def test_evaluate_leaves_grads_untouched(self, tiny_ds,
+                                             tiny_sampler):
+        dims = layer_dims(tiny_ds.spec.feature_dim, 8,
+                          tiny_ds.spec.num_classes, 2)
+        node = TrainerNode("t", "cpu", build_model("gcn", dims, 0),
+                           None, dims, "gcn")
+        mb = tiny_sampler.sample(tiny_ds.train_ids[:8])
+        x0 = tiny_ds.features[mb.input_nodes].astype(np.float64)
+        loss, acc = node.evaluate(mb, x0, tiny_ds.labels[mb.targets],
+                                  tiny_ds.graph.out_degrees)
+        assert loss > 0 and 0.0 <= acc <= 1.0
+        assert not node.model.get_flat_grads().any()
+
+
+# ---------------------------------------------------------------------------
+# PrefetchBuffer
+# ---------------------------------------------------------------------------
+
+class TestPrefetchBuffer:
+    def test_fifo_order(self):
+        buf = PrefetchBuffer(3)
+        for i in range(3):
+            buf.put(i)
+        assert [buf.get() for _ in range(3)] == [0, 1, 2]
+
+    def test_depth_blocks_put(self):
+        buf = PrefetchBuffer(1)
+        buf.put("a")
+        with pytest.raises(ProtocolError):
+            buf.put("b", timeout=0.05)
+
+    def test_close_drains(self):
+        buf = PrefetchBuffer(2)
+        buf.put("x")
+        buf.close()
+        assert buf.get() == "x"
+        assert buf.get() is None
+        with pytest.raises(ProtocolError):
+            buf.put("y")
+
+    def test_threaded_producer_consumer(self):
+        buf = PrefetchBuffer(2)
+        got = []
+
+        def consumer():
+            while True:
+                item = buf.get(timeout=5)
+                if item is None:
+                    return
+                got.append(item)
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        for i in range(20):
+            buf.put(i, timeout=5)
+        buf.close()
+        t.join(timeout=5)
+        assert got == list(range(20))
+        assert buf.high_water <= 2
+        assert buf.total_puts == 20
+
+    def test_invalid_depth(self):
+        with pytest.raises(ProtocolError):
+            PrefetchBuffer(0)
+
+
+# ---------------------------------------------------------------------------
+# DRM engine
+# ---------------------------------------------------------------------------
+
+def _times(**kw):
+    base = dict(t_sample_cpu=1.0, t_sample_accel=0.0, t_load=1.0,
+                t_transfer=1.0, t_train_cpu=1.0, t_train_accel=1.0,
+                t_sync=0.01)
+    base.update(kw)
+    return StageTimes(**base)
+
+
+def _drm(**kw):
+    cfg = SystemConfig(hybrid=True, drm=True, prefetch=True)
+    defaults = dict(minibatch_size=256, hybrid=True, hysteresis=0.05)
+    defaults.update(kw)
+    return DRMEngine(cfg, **defaults)
+
+
+def _split(cpu=128):
+    return WorkloadSplit(cpu_targets=cpu, accel_targets=(256, 256),
+                         sample_threads=96, load_threads=64,
+                         train_threads=96)
+
+
+class TestDRM:
+    def test_hysteresis_no_action(self):
+        drm = _drm()
+        split = _split()
+        out = drm.adjust(split, _times(), 0)
+        assert out is split
+        assert drm.decisions[-1].action == "none"
+
+    def test_accel_bottleneck_moves_work_to_cpu(self):
+        drm = _drm()
+        split = _split()
+        out = drm.adjust(split, _times(t_train_accel=5.0), 0)
+        assert out.cpu_targets > split.cpu_targets
+        assert out.total_targets == split.total_targets
+        assert drm.decisions[-1].action == "balance_work"
+
+    def test_transfer_bottleneck_also_counts_as_accel(self):
+        drm = _drm()
+        out = drm.adjust(_split(), _times(t_transfer=5.0), 0)
+        assert out.cpu_targets > 128
+
+    def test_load_bottleneck_moves_threads(self):
+        drm = _drm()
+        split = _split()
+        out = drm.adjust(split, _times(t_load=5.0), 0)
+        assert out.load_threads > split.load_threads
+        assert out.total_threads == split.total_threads
+        assert drm.decisions[-1].action == "balance_thread"
+
+    def test_cpu_sample_bottleneck_offloads_to_accel(self):
+        drm = _drm()
+        # T_SA fastest (zero) -> Algorithm 1 moves sampling to accels.
+        out = drm.adjust(_split(), _times(t_sample_cpu=5.0), 0)
+        assert out.accel_sample_fraction > 0
+
+    def test_cpu_train_bottleneck_with_fast_accel_moves_work(self):
+        drm = _drm()
+        out = drm.adjust(
+            _split(cpu=256),
+            _times(t_train_cpu=5.0, t_sample_accel=0.2,
+                   t_train_accel=0.1, t_transfer=0.1), 0)
+        assert out.cpu_targets < 256
+
+    def test_work_conservation_under_many_adjustments(self):
+        drm = _drm()
+        split = _split()
+        rng = np.random.default_rng(0)
+        total = split.total_targets
+        for it in range(50):
+            kw = {k: float(v) for k, v in zip(
+                ("t_sample_cpu", "t_load", "t_transfer", "t_train_cpu",
+                 "t_train_accel"), rng.uniform(0.5, 5.0, 5))}
+            split = drm.adjust(split, _times(**kw), it)
+            assert split.total_targets == total
+
+    def test_accel_floor_respected(self):
+        drm = _drm()
+        split = WorkloadSplit(cpu_targets=0,
+                              accel_targets=(MIN_ACCEL_TARGETS,) * 2,
+                              sample_threads=96, load_threads=64,
+                              train_threads=96)
+        out = drm.adjust(split, _times(t_train_accel=9.0), 0)
+        assert all(t >= MIN_ACCEL_TARGETS for t in out.accel_targets)
+
+    def test_revert_on_regression(self):
+        drm = _drm(revert_tolerance=0.01)
+        split = _split()
+        moved = drm.adjust(split, _times(t_train_accel=5.0), 0)
+        assert moved is not split
+        # Next iteration is much slower -> engine must revert.
+        reverted = drm.adjust(moved, _times(t_train_accel=20.0), 1)
+        assert drm.decisions[-1].action == "revert"
+        assert reverted.cpu_targets == split.cpu_targets
+
+    def test_non_hybrid_never_assigns_cpu_work(self):
+        drm = _drm(hybrid=False)
+        split = WorkloadSplit(cpu_targets=0, accel_targets=(256, 256),
+                              sample_threads=96, load_threads=64,
+                              train_threads=0)
+        out = drm.adjust(split, _times(t_train_accel=9.0), 0)
+        assert out.cpu_targets == 0
+
+    def test_thread_floor(self):
+        drm = _drm()
+        split = WorkloadSplit(cpu_targets=128,
+                              accel_targets=(256, 256),
+                              sample_threads=2, load_threads=64,
+                              train_threads=96)
+        # Sampler at near-floor cannot donate below 1 thread.
+        out = drm.adjust(split, _times(t_load=9.0,
+                                       t_sample_cpu=0.1), 0)
+        assert out.sample_threads >= 1

@@ -1,0 +1,230 @@
+"""Unit tests for the sampling package."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph.csr import CSRGraph
+from repro.sampling.base import (
+    LayerBlock,
+    MiniBatch,
+    MiniBatchStats,
+    local_index_of,
+    union_preserving_order,
+)
+from repro.sampling.full import FullBatchSampler
+from repro.sampling.neighbor import NeighborSampler
+from repro.sampling.saint import (
+    SaintEdgeSampler,
+    SaintNodeSampler,
+    SaintRWSampler,
+    induced_block,
+)
+
+
+class TestHelpers:
+    def test_union_preserving_order(self):
+        base = np.array([5, 2, 9])
+        extra = np.array([2, 7, 5, 1])
+        out = union_preserving_order(base, extra)
+        assert list(out[:3]) == [5, 2, 9]
+        assert set(out) == {5, 2, 9, 7, 1}
+
+    def test_union_empty_base(self):
+        out = union_preserving_order(np.array([], dtype=np.int64),
+                                     np.array([3, 1, 3]))
+        assert list(out) == [1, 3]
+
+    def test_local_index_of(self):
+        universe = np.array([10, 3, 7])
+        idx = local_index_of(np.array([7, 10]), universe)
+        assert list(idx) == [2, 0]
+
+    def test_local_index_missing_raises(self):
+        with pytest.raises(SamplingError):
+            local_index_of(np.array([99]), np.array([1, 2]))
+
+
+class TestLayerBlock:
+    def test_valid_block(self):
+        b = LayerBlock(np.array([0, 1]), np.array([0, 0]), 2, 1)
+        assert b.num_edges == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(SamplingError):
+            LayerBlock(np.array([2]), np.array([0]), 2, 1)
+        with pytest.raises(SamplingError):
+            LayerBlock(np.array([0]), np.array([1]), 2, 1)
+
+    def test_dst_exceeds_src(self):
+        with pytest.raises(SamplingError):
+            LayerBlock(np.array([0]), np.array([0]), 1, 2)
+
+
+class TestMiniBatchStats:
+    def test_properties(self):
+        st = MiniBatchStats((100, 40, 10), (300, 60), 32)
+        assert st.num_layers == 2
+        assert st.num_input_nodes == 100
+        assert st.num_targets == 10
+        assert st.total_edges == 360
+        assert st.input_feature_bytes == 100 * 32 * 4
+
+    def test_scaled(self):
+        st = MiniBatchStats((100, 10), (200,), 8)
+        s2 = st.scaled(0.5)
+        assert s2.num_nodes_per_layer == (50, 5)
+        assert s2.num_edges_per_layer == (100,)
+        with pytest.raises(SamplingError):
+            st.scaled(0.0)
+
+    def test_scaled_never_zero(self):
+        st = MiniBatchStats((3, 1), (2,), 8)
+        s2 = st.scaled(0.01)
+        assert min(s2.num_nodes_per_layer) >= 1
+
+
+class TestNeighborSampler:
+    def test_batch_structure(self, tiny_ds, tiny_sampler):
+        mb = tiny_sampler.sample(tiny_ds.train_ids[:16])
+        mb.validate()
+        assert mb.num_layers == 2
+        assert mb.targets.size == 16
+        # Prefix alignment: layer node lists nest.
+        for l in range(mb.num_layers):
+            nxt = mb.node_ids[l + 1]
+            assert np.array_equal(mb.node_ids[l][:nxt.size], nxt)
+
+    def test_fanout_respected(self, medium_graph):
+        s = NeighborSampler(medium_graph,
+                            np.arange(medium_graph.num_vertices),
+                            (5,), 8, seed=0)
+        mb = s.sample(np.arange(50))
+        st = mb.stats()
+        # Each target contributes at most fanout edges.
+        assert st.num_edges_per_layer[0] <= 50 * 5
+        indeg = np.bincount(mb.blocks[0].dst_local, minlength=50)
+        assert indeg.max() <= 5
+
+    def test_edges_exist_in_graph(self, medium_graph):
+        s = NeighborSampler(medium_graph,
+                            np.arange(medium_graph.num_vertices),
+                            (6, 4), 8, seed=1)
+        mb = s.sample(np.array([0, 5, 10]))
+        for l, blk in enumerate(mb.blocks):
+            src_g = mb.node_ids[l][blk.src_local]
+            dst_g = mb.node_ids[l + 1][blk.dst_local]
+            for u, v in zip(src_g[:200], dst_g[:200]):
+                # Sampled edge (u -> v) means u ∈ neighbors(v).
+                assert u in medium_graph.neighbors(int(v))
+
+    def test_no_duplicate_edges_per_dst(self, medium_graph):
+        s = NeighborSampler(medium_graph,
+                            np.arange(medium_graph.num_vertices),
+                            (8,), 8, seed=2)
+        mb = s.sample(np.arange(30))
+        blk = mb.blocks[0]
+        pairs = set(zip(blk.src_local.tolist(), blk.dst_local.tolist()))
+        assert len(pairs) == blk.num_edges
+
+    def test_low_degree_vertex_gets_all_neighbors(self, line_graph):
+        s = NeighborSampler(line_graph, np.arange(4), (10,), 4, seed=0)
+        mb = s.sample(np.array([0]))
+        # Vertex 0 has exactly one neighbor (1) — must appear exactly once.
+        assert mb.stats().num_edges_per_layer[0] == 1
+
+    def test_deterministic_given_seed(self, medium_graph):
+        def batch(seed):
+            s = NeighborSampler(medium_graph,
+                                np.arange(medium_graph.num_vertices),
+                                (5, 5), 8, seed=seed)
+            return s.sample(np.arange(20))
+        a, b = batch(3), batch(3)
+        assert all(np.array_equal(x, y)
+                   for x, y in zip(a.node_ids, b.node_ids))
+
+    def test_epoch_covers_train_set(self, tiny_ds, tiny_sampler):
+        seen = []
+        for mb in tiny_sampler.epoch_batches(32, seed=1):
+            seen.append(mb.targets)
+        seen = np.sort(np.concatenate(seen))
+        assert np.array_equal(seen, np.sort(tiny_ds.train_ids))
+
+    def test_rejects_duplicates_and_empty(self, tiny_sampler):
+        with pytest.raises(SamplingError):
+            tiny_sampler.sample(np.array([1, 1]))
+        with pytest.raises(SamplingError):
+            tiny_sampler.sample(np.array([], dtype=np.int64))
+
+    def test_rejects_bad_constructor_args(self, medium_graph):
+        ids = np.arange(10)
+        with pytest.raises(SamplingError):
+            NeighborSampler(medium_graph, ids, (), 8)
+        with pytest.raises(SamplingError):
+            NeighborSampler(medium_graph, ids, (0,), 8)
+        with pytest.raises(SamplingError):
+            NeighborSampler(medium_graph, np.array([], dtype=np.int64),
+                            (5,), 8)
+        with pytest.raises(SamplingError):
+            NeighborSampler(medium_graph,
+                            np.array([medium_graph.num_vertices]),
+                            (5,), 8)
+
+
+class TestSaint:
+    def test_induced_block_correct(self, line_graph):
+        nodes = np.array([0, 1, 2])
+        src, dst = induced_block(line_graph, nodes)
+        edges = {(nodes[s], nodes[d]) for s, d in zip(src, dst)}
+        assert edges == {(0, 1), (1, 2), (1, 0), (2, 1)}
+
+    def test_node_sampler(self, tiny_ds):
+        s = SaintNodeSampler(tiny_ds.graph, tiny_ds.train_ids, 2,
+                             tiny_ds.spec.feature_dim, seed=0)
+        mb = next(iter(s.epoch_batches(64)))
+        mb.validate()
+        assert mb.node_ids[0].size <= 64
+        # Subgraph batches use the same node set at every layer.
+        assert np.array_equal(mb.node_ids[0], mb.node_ids[-1])
+
+    def test_edge_sampler(self, tiny_ds):
+        s = SaintEdgeSampler(tiny_ds.graph, tiny_ds.train_ids, 2,
+                             tiny_ds.spec.feature_dim, seed=1)
+        mb = next(iter(s.epoch_batches(64)))
+        mb.validate()
+        assert mb.stats().num_edges_per_layer[0] > 0
+
+    def test_rw_sampler(self, tiny_ds):
+        s = SaintRWSampler(tiny_ds.graph, tiny_ds.train_ids, 2,
+                           tiny_ds.spec.feature_dim, seed=2,
+                           walk_length=3)
+        mb = next(iter(s.epoch_batches(64)))
+        mb.validate()
+
+    def test_rw_invalid_walk(self, tiny_ds):
+        with pytest.raises(SamplingError):
+            SaintRWSampler(tiny_ds.graph, tiny_ds.train_ids, 2,
+                           tiny_ds.spec.feature_dim, walk_length=0)
+
+    def test_epoch_batch_count(self, tiny_ds):
+        s = SaintNodeSampler(tiny_ds.graph, tiny_ds.train_ids, 2,
+                             tiny_ds.spec.feature_dim, seed=0)
+        n = sum(1 for _ in s.epoch_batches(50))
+        assert n == -(-tiny_ds.train_ids.size // 50)
+
+
+class TestFullBatch:
+    def test_full_batch(self, tiny_ds):
+        s = FullBatchSampler(tiny_ds.graph, tiny_ds.train_ids, 2,
+                             tiny_ds.spec.feature_dim)
+        mb = s.sample()
+        mb.validate()
+        assert mb.node_ids[0].size == tiny_ds.graph.num_vertices
+        assert mb.stats().num_edges_per_layer[0] == \
+            tiny_ds.graph.num_edges
+        assert s.target_mask.sum() == tiny_ds.train_ids.size
+
+    def test_epoch_is_single_batch(self, tiny_ds):
+        s = FullBatchSampler(tiny_ds.graph, tiny_ds.train_ids, 2,
+                             tiny_ds.spec.feature_dim)
+        assert len(list(s.epoch_batches(10))) == 1
