@@ -53,3 +53,37 @@ def test_fig11_tfp_gain_is_largest_single_step(benchmark):
         _, _, base, static, drm, tfp = row
         gains.append(tfp / drm)
     assert max(gains) > 1.5
+
+
+def _smoke(backend: str) -> None:
+    """Quick ablation pass on one dataset — the CI backend smoke.
+
+    The virtual backend sweeps a shortened timing simulation; the
+    threaded backend runs the same four preset sessions functionally on
+    live threads (a scaled-down config keeps it within seconds).
+    """
+    overrides = dict(minibatch_size=128, fanouts=(5, 5), hidden_dim=32)
+    res = run_ablation(platform_kind="fpga", num_accels=2,
+                       datasets=("ogbn-products",), backend=backend,
+                       iterations=4,
+                       config_overrides=overrides
+                       if backend == "threaded" else None)
+    print(res.render())
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Fig. 11 ablation smoke (see pytest for the full "
+                    "figure reproduction)")
+    parser.add_argument("--backend", choices=("virtual", "threaded"),
+                        default="virtual",
+                        help="execution backend the presets run on")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short single-dataset pass")
+    args = parser.parse_args()
+    if args.smoke:
+        _smoke(args.backend)
+    else:
+        print(run_ablation(backend=args.backend).render())

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import TrainingConfig
+from repro.config import SystemConfig, TrainingConfig
 from repro.graph.datasets import tiny_dataset
+from repro.hw import hyscale_cpu_fpga_platform
 from repro.runtime import ThreadedExecutor, validate_protocol
 
 
@@ -51,6 +52,27 @@ def main() -> None:
             break
         print(f"  iter {event.iteration}: {event.signal.value:5s} "
               f"from {event.sender}")
+
+    # ------------------------------------------------------------------
+    # The shared runtime core means the threaded plane also runs the
+    # full hybrid system: CPU+FPGA split, DRM re-balancing and int8
+    # PCIe transfer on live threads — identical results to
+    # HyScaleGNN.train_epoch for the same seed (see
+    # tests/integration/test_backend_equivalence.py).
+    # ------------------------------------------------------------------
+    print("\nhybrid + DRM + int8 transfer on threads:")
+    hybrid = ThreadedExecutor(
+        dataset, cfg,
+        sys_cfg=SystemConfig(hybrid=True, drm=True, prefetch=True,
+                             transfer_precision="int8"),
+        platform=hyscale_cpu_fpga_platform(2), timeout_s=60)
+    print(f"trainers: {[t.name for t in hybrid.trainers]}")
+    rep = hybrid.run_epoch()
+    print(f"epoch: {rep.iterations} iterations, "
+          f"final loss {rep.losses[-1]:.3f}, "
+          f"virtual time {rep.virtual_time_s * 1e3:.2f} ms, "
+          f"DRM decisions {len(hybrid.drm.decisions)}")
+    print(f"replicas consistent: {rep.replicas_consistent}")
 
 
 if __name__ == "__main__":

@@ -58,6 +58,28 @@ def _hyscale(ds: GraphDataset, platform, cfg: TrainingConfig,
                       full_scale=True, profile_probes=PROBES)
 
 
+def _epoch_time(system: HyScaleGNN, backend: str,
+                iterations: int | None) -> float:
+    """Virtual epoch time of one system under the chosen backend.
+
+    ``"virtual"`` sweeps the timing-only simulation (the paper-figure
+    plane). ``"threaded"`` runs real functional iterations on the live
+    threaded backend over the *same* session and reports the modelled
+    makespan of those iterations — exercising the full construction +
+    execution path on threads (the CI smoke's purpose).
+    """
+    if backend == "virtual":
+        return system.simulate_epoch(iterations=iterations).epoch_time_s
+    if backend == "threaded":
+        from ..runtime.backends import ThreadedBackend
+        tb = ThreadedBackend(system.session, timeout_s=120.0)
+        if iterations is None:
+            return tb.run_epoch().virtual_time_s
+        return tb.run(iterations).virtual_time_s
+    raise ValueError(f"unknown backend {backend!r}; "
+                     "expected 'virtual' or 'threaded'")
+
+
 # ---------------------------------------------------------------------------
 # Fig. 10 — cross-platform comparison
 # ---------------------------------------------------------------------------
@@ -97,23 +119,34 @@ def run_cross_platform(num_accels: int = 4,
 # ---------------------------------------------------------------------------
 
 def run_ablation(platform_kind: str = "fpga", num_accels: int = 4,
-                 datasets=DATASETS) -> ExperimentResult:
-    """Baseline → +hybrid → +DRM → +TFP (paper Fig. 11, CPU-FPGA)."""
+                 datasets=DATASETS, backend: str = "virtual",
+                 iterations: int | None = None,
+                 config_overrides: dict | None = None
+                 ) -> ExperimentResult:
+    """Baseline → +hybrid → +DRM → +TFP (paper Fig. 11, CPU-FPGA).
+
+    ``backend`` selects the execution backend every preset runs on
+    (``"virtual"`` reproduces the paper figure; ``"threaded"`` drives
+    the same sessions through the live threaded backend — used by the
+    CI smoke). ``iterations`` shortens the sweep; ``config_overrides``
+    shrinks the training config for quick smokes.
+    """
     factory = hyscale_cpu_fpga_platform if platform_kind == "fpga" \
         else hyscale_cpu_gpu_platform
     res = ExperimentResult(
         title=f"Fig. 11 - Impact of optimizations (CPU-"
-              f"{platform_kind.upper()}, normalized speedup)",
+              f"{platform_kind.upper()}, normalized speedup, "
+              f"{backend} backend)",
         columns=["dataset", "model", "baseline", "hybrid(static)",
                  "hybrid+DRM", "hybrid+DRM+TFP"])
     for ds_name in datasets:
         ds = dataset(ds_name)
         for model in MODELS:
-            cfg = paper_config(model)
+            cfg = paper_config(model, **(config_overrides or {}))
             times = {}
             for preset in ABLATION_PRESETS:
                 system = _hyscale(ds, factory(num_accels), cfg, preset)
-                times[preset] = system.simulate_epoch().epoch_time_s
+                times[preset] = _epoch_time(system, backend, iterations)
             base = times["baseline"]
             res.add_row(ds_name, model, 1.0,
                         base / times["hybrid_static"],

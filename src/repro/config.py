@@ -26,6 +26,7 @@ from .errors import ConfigError
 S_FEAT_BYTES = 4
 
 
+
 @dataclass(frozen=True)
 class TrainingConfig:
     """Algorithmic parameters of a mini-batch GNN training run.
@@ -47,6 +48,14 @@ class TrainingConfig:
         Number of passes over the training vertex set.
     seed:
         Base RNG seed; all randomness in the library derives from it.
+    sampler:
+        Mini-batch sampler family — any key of
+        ``repro.sampling.SAMPLER_REGISTRY`` (paper §III-A: "executing a
+        sampling algorithm [2], [29]"). ``"neighbor"`` is the paper's
+        GraphSAGE sampler; ``"saint-node"`` / ``"saint-edge"`` /
+        ``"saint-rw"`` / ``"full"`` and families added via
+        ``repro.sampling.register_sampler`` plug into the same runtime,
+        so execution backends stay sampler-agnostic.
     """
 
     model: str = "sage"
@@ -56,11 +65,20 @@ class TrainingConfig:
     learning_rate: float = 0.01
     epochs: int = 1
     seed: int = 0
+    sampler: str = "neighbor"
 
     def __post_init__(self) -> None:
         if self.model not in ("gcn", "sage"):
             raise ConfigError(f"unknown model {self.model!r}; "
                               "expected 'gcn' or 'sage'")
+        # Validate against the live registry (single source of truth —
+        # built-ins and register_sampler() additions alike). Imported
+        # lazily: repro.sampling depends on this module.
+        from .sampling import SAMPLER_REGISTRY
+        if self.sampler not in SAMPLER_REGISTRY:
+            raise ConfigError(f"unknown sampler {self.sampler!r}; "
+                              f"expected one of "
+                              f"{sorted(SAMPLER_REGISTRY)}")
         if self.minibatch_size <= 0:
             raise ConfigError("minibatch_size must be positive")
         if len(self.fanouts) == 0:

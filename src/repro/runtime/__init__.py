@@ -12,11 +12,25 @@ This package is the paper's primary contribution (§III-§IV):
 * :mod:`repro.runtime.prefetch` — the two-stage feature prefetch buffers;
 * :mod:`repro.runtime.drm` — the Dynamic Resource Management engine
   (paper Algorithm 1, verbatim decision structure);
-* :mod:`repro.runtime.hybrid` — :class:`HyScaleGNN`, the top-level system
-  that trains functionally while accounting virtual time;
-* :mod:`repro.runtime.executor` — a live multi-threaded executor using
-  condition-variable handshakes exactly like the paper's pthread
-  implementation.
+* :mod:`repro.runtime.core` — the shared runtime core:
+  :class:`TrainingSession` (owns all construction: sampler via the
+  registry in :mod:`repro.sampling`, trainer replicas, synchronizer,
+  optimizers, perf model, DRM, quantize policy) and :class:`BatchPlan`
+  (the per-trainer quota / permutation-cursor logic, implemented once);
+* :mod:`repro.runtime.backends` — pluggable execution strategies over
+  the core. The **backend registry** maps a name to an
+  :class:`ExecutionBackend` subclass: ``get_backend("virtual")`` returns
+  :class:`VirtualTimeBackend` (sequential, modelled-hardware time —
+  the paper-figure plane), ``get_backend("threaded")`` returns
+  :class:`ThreadedBackend` (live threads, Listing-1 handshakes). Both
+  execute the *same* plan and session, so hybrid split, DRM, prefetch
+  and transfer quantization behave identically on either; new executors
+  (process pool, async pipeline, multi-node) join via
+  :func:`register_backend` without touching the core;
+* :mod:`repro.runtime.hybrid` — :class:`HyScaleGNN`, the top-level
+  system facade (session + virtual-time backend);
+* :mod:`repro.runtime.executor` — :class:`ThreadedExecutor`, the
+  threaded facade (session + threaded backend).
 """
 
 from .protocol import ProtocolLog, ProtocolEvent, Signal, validate_protocol
@@ -24,7 +38,19 @@ from .synchronizer import GradientSynchronizer
 from .trainer import TrainerNode, TrainerReport
 from .prefetch import PrefetchBuffer
 from .drm import DRMDecision, DRMEngine
-from .hybrid import EpochReport, HyScaleGNN
+from .core import BatchPlan, PlannedIteration, TrainingSession
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ThreadedBackend,
+    VirtualTimeBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .backends.threaded import ExecutorReport
+from .backends.virtual import EpochReport
+from .hybrid import HyScaleGNN
 from .executor import ThreadedExecutor
 
 __all__ = [
@@ -38,7 +64,18 @@ __all__ = [
     "PrefetchBuffer",
     "DRMEngine",
     "DRMDecision",
+    "TrainingSession",
+    "BatchPlan",
+    "PlannedIteration",
+    "ExecutionBackend",
+    "VirtualTimeBackend",
+    "ThreadedBackend",
+    "BACKENDS",
+    "register_backend",
+    "get_backend",
+    "available_backends",
     "HyScaleGNN",
     "EpochReport",
     "ThreadedExecutor",
+    "ExecutorReport",
 ]

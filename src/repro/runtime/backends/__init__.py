@@ -1,0 +1,72 @@
+"""Pluggable execution backends for the shared runtime core.
+
+A backend realizes the training protocol of a
+:class:`~repro.runtime.core.TrainingSession` on a concrete execution
+substrate. Two ship with the library:
+
+* ``"virtual"`` — :class:`VirtualTimeBackend`: sequential execution with
+  modelled-hardware (virtual-time) accounting; the paper-figure plane.
+* ``"threaded"`` — :class:`ThreadedBackend`: live Python threads with
+  the paper's Listing-1 condition-variable handshakes.
+
+Both consume the same :class:`~repro.runtime.core.BatchPlan` and session,
+so every feature flag — hybrid CPU+accelerator split, DRM, two-stage
+prefetch, transfer quantization, pluggable samplers — behaves identically
+on both; ``tests/integration/test_backend_equivalence.py`` asserts
+loss-for-loss parity. Future executors (process pool, async prefetch
+pipeline, multi-node sharding) plug in through
+:func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigError
+from .base import ExecutionBackend
+from .virtual import EpochReport, VirtualTimeBackend
+from .threaded import ExecutorReport, ThreadedBackend
+
+#: name -> backend class. Mutated only through :func:`register_backend`.
+BACKENDS: dict[str, type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: type[ExecutionBackend]
+                     ) -> type[ExecutionBackend]:
+    """Register an execution backend under ``cls.name``.
+
+    Usable as a class decorator; returns ``cls`` unchanged.
+    """
+    if not getattr(cls, "name", ""):
+        raise ConfigError("backend class needs a non-empty `name`")
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str) -> type[ExecutionBackend]:
+    """Look up a backend class by registry key."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown execution backend {name!r}; registered: "
+            f"{sorted(BACKENDS)}") from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(BACKENDS))
+
+
+register_backend(VirtualTimeBackend)
+register_backend(ThreadedBackend)
+
+__all__ = [
+    "ExecutionBackend",
+    "VirtualTimeBackend",
+    "ThreadedBackend",
+    "EpochReport",
+    "ExecutorReport",
+    "BACKENDS",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]

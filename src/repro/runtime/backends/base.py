@@ -1,0 +1,58 @@
+"""The execution-backend protocol.
+
+An :class:`ExecutionBackend` realizes the training protocol described by
+a :class:`~repro.runtime.core.TrainingSession` on some execution
+substrate. Backends never construct samplers, replicas, synchronizers or
+optimizers — the session owns construction; backends own *execution
+strategy* only. That is the whole point of the split: adding a new way to
+run training (process pool, async pipeline, multi-node sharding) means
+implementing this interface, not forking the runtime.
+
+Contract every backend must honor (so results are backend-independent):
+
+* batches come from the session's :class:`~repro.runtime.core.BatchPlan`
+  — one permutation per epoch, per-trainer quota slices in trainer order;
+* mini-batches are sampled through ``session.sampler`` in plan order
+  (the sampler's RNG stream is part of the reproducibility contract);
+* features load through ``session.load_features`` (which applies the
+  transfer-quantization policy for accelerator trainers);
+* gradients synchronize through ``session.synchronizer`` with batch-size
+  weights, after which *every* optimizer steps (idle trainers receive
+  the averaged gradients too, keeping replicas consistent);
+* DRM (when enabled) sees iteration ``i``'s realized stage times before
+  iteration ``i + 1``'s quotas are read.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, ClassVar
+
+from ..core import TrainingSession
+
+
+class ExecutionBackend(abc.ABC):
+    """Base class for pluggable execution strategies.
+
+    Parameters
+    ----------
+    session:
+        The shared runtime core this backend executes.
+    """
+
+    #: Registry key; subclasses override.
+    name: ClassVar[str] = ""
+
+    def __init__(self, session: TrainingSession) -> None:
+        self.session = session
+
+    @abc.abstractmethod
+    def run_epoch(self, max_iterations: int | None = None) -> Any:
+        """Execute (up to) one epoch of functional training.
+
+        Returns a backend-specific report; all reports expose at least
+        ``iterations`` and per-iteration ``losses``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} over {self.session.dataset.name}>"

@@ -1,0 +1,241 @@
+"""Virtual-time execution backend (the paper's modelled-hardware plane).
+
+Resolves the training protocol sequentially in one thread while
+accounting *virtual* (modelled-hardware) time for every pipeline stage:
+
+* :meth:`VirtualTimeBackend.run_epoch` — *functional* training over the
+  shared :class:`~repro.runtime.core.BatchPlan`: real sampling, real
+  forward/backward, real gradient all-reduce, with stage times derived
+  from the realized batch statistics.
+* :meth:`VirtualTimeBackend.simulate_epoch` — *timing-only* simulation,
+  optionally at the full paper dataset scale (projected batch statistics
+  with measured per-batch jitter). This is what the figure benches
+  sweep; it includes the effects the analytic model omits (kernel-launch
+  overheads, pipeline fill/flush, per-batch workload variation, DRM
+  transients) — the paper's predicted-vs-actual gap (Fig. 8) arises
+  here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...errors import ConfigError
+from ...perfmodel.model import StageTimes, WorkloadSplit
+from ...sampling.base import MiniBatchStats
+from ...sim.trace import Timeline
+from .base import ExecutionBackend
+
+
+@dataclass
+class EpochReport:
+    """Everything one epoch produced.
+
+    ``epoch_time_s`` is *virtual* (modelled-hardware) time; functional
+    quality metrics are populated only by functional training.
+    """
+
+    mode: str                                  # "functional" | "simulated"
+    iterations: int
+    epoch_time_s: float
+    timeline: Timeline
+    stage_history: list[StageTimes] = field(default_factory=list)
+    split_history: list[WorkloadSplit] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    total_edges: float = 0.0
+
+    @property
+    def mean_loss(self) -> float:
+        return float(np.mean(self.losses)) if self.losses else float("nan")
+
+    @property
+    def throughput_mteps(self) -> float:
+        """Eq. 5 over the whole epoch."""
+        if self.epoch_time_s <= 0:
+            return 0.0
+        return self.total_edges / self.epoch_time_s / 1e6
+
+    def bottleneck_stage(self) -> str | None:
+        """Dominant pipeline stage over the epoch."""
+        return self.timeline.bottleneck_stage()
+
+
+class VirtualTimeBackend(ExecutionBackend):
+    """Sequential execution with virtual-time accounting."""
+
+    name = "virtual"
+
+    # ------------------------------------------------------------------
+    # Functional training
+    # ------------------------------------------------------------------
+    def run_epoch(self, max_iterations: int | None = None) -> EpochReport:
+        """One epoch of real training with virtual-time accounting.
+
+        Every trainer with a non-zero quota samples a real batch, loads
+        real features, computes real gradients; the synchronizer averages
+        them (batch-size weighted) and every optimizer steps. Stage times
+        for the same iteration come from the realized batch statistics.
+        """
+        s = self.session
+        rows: list[list[float]] = []
+        report = EpochReport(mode="functional", iterations=0,
+                             epoch_time_s=0.0, timeline=Timeline())
+
+        iteration = 0
+        for planned in s.plan.start_epoch():
+            stats_cpu: MiniBatchStats | None = None
+            stats_accel: list[MiniBatchStats | None] = []
+            batch_sizes: list[int] = []
+            losses_iter: list[float] = []
+            accs_iter: list[float] = []
+            edges_iter = 0.0
+
+            for idx, trainer in enumerate(s.trainers):
+                targets = planned.assignments[idx]
+                if targets is None:
+                    batch_sizes.append(0)
+                    if trainer.kind == "accel":
+                        stats_accel.append(None)
+                    continue
+                mb = s.sampler.sample(targets)
+                st = mb.stats()
+                edges_iter += st.total_edges
+                if trainer.kind == "cpu":
+                    stats_cpu = st
+                else:
+                    stats_accel.append(st)
+                x0 = s.load_features(mb, trainer.kind)
+                rep = trainer.train_minibatch(
+                    mb, x0, s.labels_for(mb), s.degrees)
+                s.synchronizer.signal_done(trainer.name, iteration)
+                batch_sizes.append(int(targets.size))
+                losses_iter.append(rep.loss)
+                accs_iter.append(rep.accuracy)
+
+            # Trainers that got no work this iteration still participate
+            # in the all-reduce with zero gradients and weight zero.
+            if not any(b > 0 for b in batch_sizes):
+                break
+            for idx, b in enumerate(batch_sizes):
+                if b == 0:
+                    s.trainers[idx].model.zero_grad()
+                    s.synchronizer.signal_done(
+                        s.trainers[idx].name, iteration)
+            s.synchronizer.all_reduce(batch_sizes, iteration)
+            for opt in s.optimizers:
+                opt.step()
+
+            report.losses.append(float(np.mean(losses_iter)))
+            report.accuracies.append(float(np.mean(accs_iter)))
+            report.total_edges += edges_iter
+            if s.has_timing:
+                times = s.stage_times(stats_cpu, stats_accel)
+                rows.append(s.duration_row(times))
+                report.stage_history.append(times)
+                report.split_history.append(s.split)
+                s.drm_step(times, iteration)
+
+            iteration += 1
+            if max_iterations is not None and iteration >= max_iterations:
+                break
+
+        report.iterations = iteration
+        if s.has_timing:
+            timeline = s.make_pipeline().run(rows)
+            report.timeline = timeline
+            report.epoch_time_s = timeline.makespan
+        return report
+
+    def train(self, epochs: int | None = None,
+              max_iterations: int | None = None) -> list[EpochReport]:
+        """Run several functional epochs."""
+        n = epochs if epochs is not None else self.session.train_cfg.epochs
+        return [self.run_epoch(max_iterations) for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    # Timing-only simulation
+    # ------------------------------------------------------------------
+    def simulate_epoch(self, full_scale: bool | None = None,
+                       iterations: int | None = None,
+                       jitter: bool = True) -> EpochReport:
+        """Simulate one epoch's timing without functional training.
+
+        Parameters
+        ----------
+        full_scale:
+            Use the paper-scale train-set size for the iteration count
+            (defaults to the session's construction-time setting; batch
+            statistics always come from the session's profile, which is
+            projection-based iff the session was built full-scale).
+        iterations:
+            Override the iteration count (e.g. short sweeps).
+        jitter:
+            Apply the measured per-batch size variation so iterations
+            are not identical (stragglers + DRM noise — part of the
+            predicted-vs-actual gap).
+        """
+        s = self.session
+        s._require_timing()
+        if full_scale is None:
+            full_scale = s.full_scale
+        base = s.train_cfg.minibatch_size
+        base_stats = s.profile.expected_stats(base)
+        if full_scale:
+            train_count = s.dataset.spec.train_count
+        else:
+            train_count = int(s.dataset.train_ids.size)
+
+        report = EpochReport(mode="simulated", iterations=0,
+                             epoch_time_s=0.0, timeline=Timeline())
+        rows: list[list[float]] = []
+        remaining = train_count
+        it = 0
+        while remaining > 0:
+            if iterations is not None and it >= iterations:
+                break
+            counts = s.split_target_counts()
+            total = sum(counts)
+            if total <= 0:
+                raise ConfigError("split trains no targets")
+            take_total = min(total, remaining)
+            frac = take_total / total
+
+            stats_cpu = None
+            stats_accel: list[MiniBatchStats | None] = []
+            k = 0
+            for trainer in s.trainers:
+                want = counts[k] if k < len(counts) else 0
+                k += 1
+                eff = int(round(want * frac))
+                # Independent per-trainer batch-size variation: the
+                # iteration barrier waits for the straggler, part of
+                # the predicted-vs-actual gap (paper Fig. 5 barriers).
+                scale_j = 1.0
+                if jitter and s.profile.rel_std > 0:
+                    scale_j = float(np.exp(s.rng.normal(
+                        0.0, s.profile.rel_std)))
+                st = base_stats.scaled(scale_j * eff / base) \
+                    if eff > 0 else None
+                if trainer.kind == "cpu":
+                    stats_cpu = st
+                else:
+                    stats_accel.append(st)
+                if st is not None:
+                    report.total_edges += st.total_edges
+            remaining -= take_total
+
+            times = s.stage_times(stats_cpu, stats_accel)
+            rows.append(s.duration_row(times))
+            report.stage_history.append(times)
+            report.split_history.append(s.split)
+            s.drm_step(times, it)
+            it += 1
+
+        report.iterations = it
+        timeline = s.make_pipeline().run(rows)
+        report.timeline = timeline
+        report.epoch_time_s = timeline.makespan
+        return report

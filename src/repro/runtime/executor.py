@@ -1,56 +1,35 @@
-"""Live multi-threaded executor (paper §VI-B, Listing 1).
+"""Live multi-threaded executor facade (paper §VI-B, Listing 1).
 
-The virtual-time engine in :mod:`repro.runtime.hybrid` models the
-protocol; this module *runs* it, with real Python threads and
-condition-variable handshakes structured exactly like the paper's pthread
-implementation:
+:class:`ThreadedExecutor` is a thin facade over the shared runtime core:
+a :class:`~repro.runtime.core.TrainingSession` executed by the
+:class:`~repro.runtime.backends.ThreadedBackend` (real Python threads
+with the paper's pthread-style condition-variable handshakes).
 
-* a producer thread plays Mini-batch Sampler + Feature Loader, filling
-  bounded :class:`~repro.runtime.prefetch.PrefetchBuffer` queues (the
-  two-stage prefetch look-ahead);
-* one thread per GNN Trainer trains its replica, then increments the
-  shared ``DONE`` counter under the mutex and signals the condition
-  (Listing 1's ``Trainer_threads`` block);
-* the synchronizer (the ``run`` caller's thread) waits for
-  ``DONE == n``, performs the all-reduce, broadcasts, and waits for every
-  trainer's ``ACK`` before releasing the next iteration (Listing 1's
-  ``Synchronizer_thread`` block).
+Because execution now rides the shared core, the threaded plane supports
+everything the virtual-time plane does: pass ``platform`` (and a
+``sys_cfg``) to run the hybrid CPU+accelerator split, DRM re-balancing
+and quantized PCIe transfer on live threads — configurations that were
+previously expressible only in :class:`~repro.runtime.hybrid.HyScaleGNN`.
+Without a platform the executor keeps its historical shape: ``num_trainers``
+replicas fed by one producer thread, functional training only.
 
-Every handshake is recorded in a :class:`ProtocolLog`; tests validate the
-ordering invariants and that training results match the single-threaded
-engine.
+Epoch semantics follow the shared :class:`~repro.runtime.core.BatchPlan`:
+each epoch is one permutation of the train set consumed cursor-wise
+(matching ``HyScaleGNN.train_epoch``), rolling into a fresh permutation
+when ``run(iterations)`` spans epochs — the historical executor drew
+i.i.d. batches every iteration and never covered the train set.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from ..config import TrainingConfig, layer_dims
+from ..config import SystemConfig, TrainingConfig
 from ..errors import ProtocolError
 from ..graph.datasets import GraphDataset
-from ..nn.models import build_model
-from ..nn.optim import SGD
-from ..sampling.neighbor import NeighborSampler
-from .prefetch import PrefetchBuffer
-from .protocol import ProtocolLog, Signal
-from .synchronizer import GradientSynchronizer
-from .trainer import TrainerNode
+from ..hw.topology import PlatformSpec
+from .backends.threaded import ExecutorReport, ThreadedBackend
+from .core import TrainingSession
 
-
-@dataclass
-class ExecutorReport:
-    """Outcome of a threaded run."""
-
-    iterations: int
-    losses: list[float] = field(default_factory=list)
-    wall_time_s: float = 0.0
-    protocol_log: ProtocolLog = field(default_factory=ProtocolLog)
-    replicas_consistent: bool = False
-    prefetch_high_water: int = 0
+__all__ = ["ExecutorReport", "ThreadedExecutor"]
 
 
 class ThreadedExecutor:
@@ -61,180 +40,103 @@ class ThreadedExecutor:
     dataset / train_cfg:
         Workload description; all trainers share one sampler stream.
     num_trainers:
-        Trainer thread count (the modelled CPU + accelerators; placement
-        does not matter functionally).
+        Trainer thread count for platform-less sessions (the modelled
+        CPU + accelerators; placement does not matter functionally).
+        Ignored when ``platform`` is given — the trainer set then comes
+        from the platform (CPU trainer when hybrid + one per
+        accelerator).
+    prefetch_depth:
+        Mini-batches of look-ahead per trainer. When an explicit
+        ``sys_cfg`` is passed its ``prefetch_depth`` governs both the
+        live buffers and the modelled pipeline (one depth for both
+        planes); this argument then has no effect.
     timeout_s:
         Watchdog for every blocking wait — a protocol deadlock fails fast
         instead of hanging the suite.
+    sys_cfg:
+        System feature flags. Defaults to hybrid trainers with DRM off
+        and full-precision transfer (the historical executor semantics).
+    platform:
+        Optional node description; enables the timing plane (stage
+        times, DRM, workload split) on the threaded run.
+    profile_probes:
+        Sampling-profile probes for platform sessions (must match the
+        virtual-plane system for cross-backend reproducibility).
     """
 
     def __init__(self, dataset: GraphDataset, train_cfg: TrainingConfig,
                  num_trainers: int = 3, prefetch_depth: int = 2,
-                 timeout_s: float = 60.0) -> None:
+                 timeout_s: float = 60.0,
+                 sys_cfg: SystemConfig | None = None,
+                 platform: PlatformSpec | None = None,
+                 profile_probes: int = 6) -> None:
         if num_trainers < 1:
             raise ProtocolError("need at least one trainer")
-        self.dataset = dataset
-        self.train_cfg = train_cfg
-        self.num_trainers = num_trainers
-        self.prefetch_depth = prefetch_depth
+        if sys_cfg is None:
+            sys_cfg = SystemConfig(hybrid=True, drm=False, prefetch=True,
+                                   prefetch_depth=prefetch_depth)
+        self.session = TrainingSession(
+            dataset, train_cfg, sys_cfg, platform,
+            num_trainers=num_trainers, profile_probes=profile_probes)
+        # One depth for both planes: the live buffers and the modelled
+        # pipeline must agree, so an explicit sys_cfg's prefetch_depth
+        # wins over the convenience argument.
+        depth = sys_cfg.prefetch_depth
+        self.backend = ThreadedBackend(self.session,
+                                       prefetch_depth=depth,
+                                       timeout_s=timeout_s)
+        self.prefetch_depth = depth
         self.timeout_s = timeout_s
 
-        dims = layer_dims(dataset.spec.feature_dim, train_cfg.hidden_dim,
-                          dataset.spec.num_classes, train_cfg.num_layers)
-        self.sampler = NeighborSampler(
-            dataset.graph, dataset.train_ids, train_cfg.fanouts,
-            dataset.spec.feature_dim, seed=train_cfg.seed)
-        self.trainers = [
-            TrainerNode(f"trainer{i}", "accel" if i else "cpu",
-                        build_model(train_cfg.model, dims,
-                                    train_cfg.seed),
-                        None, dims, train_cfg.model)
-            for i in range(num_trainers)]
-        self.synchronizer = GradientSynchronizer(
-            [t.model for t in self.trainers], weighting="batch")
-        self.optimizers = [SGD(t.model, lr=train_cfg.learning_rate)
-                           for t in self.trainers]
-        self._degrees = dataset.graph.out_degrees
+    # ------------------------------------------------------------------
+    # Session delegation (the public surface predating the core split)
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> GraphDataset:
+        return self.session.dataset
+
+    @property
+    def train_cfg(self) -> TrainingConfig:
+        return self.session.train_cfg
+
+    @property
+    def num_trainers(self) -> int:
+        return self.session.num_trainers
+
+    @property
+    def sampler(self):
+        return self.session.sampler
+
+    @property
+    def trainers(self):
+        return self.session.trainers
+
+    @property
+    def synchronizer(self):
+        return self.session.synchronizer
+
+    @property
+    def optimizers(self):
+        return self.session.optimizers
+
+    @property
+    def split(self):
+        return self.session.split
+
+    @split.setter
+    def split(self, value) -> None:
+        self.session.split = value
+
+    @property
+    def drm(self):
+        return self.session.drm
 
     # ------------------------------------------------------------------
     def run(self, iterations: int) -> ExecutorReport:
         """Execute ``iterations`` synchronized iterations."""
-        if iterations < 1:
-            raise ProtocolError("iterations must be >= 1")
-        report = ExecutorReport(iterations=iterations)
-        log = report.protocol_log
-        n = self.num_trainers
+        return self.backend.run(iterations)
 
-        mutex = threading.Lock()
-        cond = threading.Condition(mutex)
-        state = {
-            "done": 0,           # Listing 1's DONE counter
-            "acks": 0,
-            "sync_iter": -1,     # last iteration whose all-reduce finished
-            "release_iter": 0,   # iteration trainers may work on
-            "losses": {},        # (iteration, trainer) -> (loss, size)
-            "error": None,
-        }
-        buffers = [PrefetchBuffer(self.prefetch_depth) for _ in range(n)]
-
-        # ---- producer: Sampler + Feature Loader ----
-        def producer() -> None:
-            try:
-                rng = np.random.default_rng(self.train_cfg.seed + 99)
-                ids = self.dataset.train_ids
-                mb_size = max(8, min(self.train_cfg.minibatch_size,
-                                     ids.size // n or 8))
-                for it in range(iterations):
-                    for t in range(n):
-                        take = min(mb_size, ids.size)
-                        targets = rng.choice(ids, size=take,
-                                             replace=False)
-                        mb = self.sampler.sample(targets)
-                        x0 = self.dataset.features[
-                            mb.input_nodes].astype(np.float64)
-                        labels = self.dataset.labels[mb.targets]
-                        buffers[t].put((it, mb, x0, labels),
-                                       timeout=self.timeout_s)
-                for b in buffers:
-                    b.close()
-            except BaseException as exc:  # propagate to the main thread
-                with cond:
-                    state["error"] = exc
-                    cond.notify_all()
-                for b in buffers:
-                    b.close()
-
-        # ---- trainer threads (Listing 1, Trainer_threads) ----
-        def trainer_loop(idx: int) -> None:
-            try:
-                node = self.trainers[idx]
-                opt = self.optimizers[idx]
-                while True:
-                    item = buffers[idx].get(timeout=self.timeout_s)
-                    if item is None:
-                        return
-                    it, mb, x0, labels = item
-                    with cond:
-                        while state["release_iter"] < it and \
-                                state["error"] is None:
-                            if not cond.wait(self.timeout_s):
-                                raise ProtocolError(
-                                    f"trainer{idx} release wait timeout")
-                        if state["error"] is not None:
-                            return
-                    rep = node.train_minibatch(mb, x0, labels,
-                                               self._degrees)
-                    with cond:
-                        state["losses"][(it, idx)] = (rep.loss,
-                                                      rep.batch_targets)
-                        state["done"] += 1
-                        log.record(it, Signal.DONE, node.name)
-                        cond.notify_all()
-                        # Wait for the synchronizer's broadcast.
-                        while state["sync_iter"] < it and \
-                                state["error"] is None:
-                            if not cond.wait(self.timeout_s):
-                                raise ProtocolError(
-                                    f"trainer{idx} sync wait timeout")
-                        if state["error"] is not None:
-                            return
-                    opt.step()
-                    with cond:
-                        state["acks"] += 1
-                        log.record(it, Signal.ACK, node.name)
-                        cond.notify_all()
-            except BaseException as exc:
-                with cond:
-                    if state["error"] is None:
-                        state["error"] = exc
-                    cond.notify_all()
-
-        threads = [threading.Thread(target=producer, daemon=True,
-                                    name="producer")]
-        threads += [threading.Thread(target=trainer_loop, args=(i,),
-                                     daemon=True, name=f"trainer{i}")
-                    for i in range(n)]
-        start = time.perf_counter()
-        for t in threads:
-            t.start()
-
-        # ---- synchronizer loop (Listing 1, Synchronizer_thread) ----
-        try:
-            for it in range(iterations):
-                with cond:
-                    while state["done"] < n and state["error"] is None:
-                        if not cond.wait(self.timeout_s):
-                            raise ProtocolError(
-                                f"synchronizer wait timeout at {it}")
-                    if state["error"] is not None:
-                        raise state["error"]
-                    sizes = [state["losses"][(it, i)][1]
-                             for i in range(n)]
-                    self.synchronizer.all_reduce(sizes, it)
-                    log.record(it, Signal.SYNC, "synchronizer")
-                    state["done"] = 0
-                    state["sync_iter"] = it
-                    cond.notify_all()
-                    while state["acks"] < n and state["error"] is None:
-                        if not cond.wait(self.timeout_s):
-                            raise ProtocolError(
-                                f"ACK wait timeout at {it}")
-                    if state["error"] is not None:
-                        raise state["error"]
-                    state["acks"] = 0
-                    state["release_iter"] = it + 1
-                    log.record(it, Signal.ITER_START, "runtime")
-                    cond.notify_all()
-                losses = [state["losses"][(it, i)][0] for i in range(n)]
-                report.losses.append(float(np.mean(losses)))
-        finally:
-            for b in buffers:
-                b.close()
-            for t in threads:
-                t.join(timeout=self.timeout_s)
-
-        report.wall_time_s = time.perf_counter() - start
-        report.replicas_consistent = \
-            self.synchronizer.replicas_consistent()
-        report.prefetch_high_water = max(b.high_water for b in buffers)
-        return report
+    def run_epoch(self, max_iterations: int | None = None
+                  ) -> ExecutorReport:
+        """Execute one epoch over the shared batch plan."""
+        return self.backend.run_epoch(max_iterations)

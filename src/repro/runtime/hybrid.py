@@ -1,16 +1,13 @@
 """HyScale-GNN: the top-level hybrid training system (paper §III).
 
-:class:`HyScaleGNN` wires every component together:
-
-* a :class:`~repro.sampling.neighbor.NeighborSampler` (Mini-batch Sampler)
-  over the host-resident graph;
-* a Feature Loader (host-memory row gather);
-* one :class:`~repro.runtime.trainer.TrainerNode` per device (CPU trainer
-  when hybrid, plus one per accelerator), each with its own model replica;
-* the :class:`~repro.runtime.synchronizer.GradientSynchronizer`;
-* the :class:`~repro.runtime.drm.DRMEngine` (when enabled);
-* the :class:`~repro.sim.engine.PipelineSimulator` resolving the
-  four-stage pipeline with or without Two-stage Feature Prefetching.
+:class:`HyScaleGNN` is a thin facade over the shared runtime core: a
+:class:`~repro.runtime.core.TrainingSession` (which owns the sampler,
+trainer replicas, synchronizer, optimizers, performance model and DRM)
+executed by the :class:`~repro.runtime.backends.VirtualTimeBackend`.
+Construction logic lives in the session — the same session can be handed
+to any registered backend (see :mod:`repro.runtime.backends`), which is
+how the threaded plane gains hybrid split / DRM / quantized transfer for
+free.
 
 Two entry points:
 
@@ -28,70 +25,14 @@ Two entry points:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from ..config import SystemConfig, TrainingConfig, layer_dims
-from ..errors import ConfigError
+from ..config import SystemConfig, TrainingConfig
 from ..graph.datasets import GraphDataset
 from ..hw.topology import PlatformSpec
-from ..nn.models import build_model
-from ..nn.optim import SGD
-from ..perfmodel.mapping import initial_mapping
-from ..perfmodel.model import (
-    PerformanceModel,
-    StageTimes,
-    WorkloadSplit,
-    throughput_mteps,
-)
-from ..perfmodel.sampling_profile import (
-    SamplingProfile,
-    project_full_scale_stats,
-)
-from ..sampling.base import MiniBatchStats
-from ..sampling.neighbor import NeighborSampler
-from ..sim.engine import PipelineSimulator
-from ..sim.trace import Timeline
-from .drm import DRMEngine
-from .synchronizer import GradientSynchronizer
-from .trainer import TrainerNode
+from ..perfmodel.model import WorkloadSplit
+from .backends.virtual import EpochReport, VirtualTimeBackend
+from .core import TrainingSession
 
-_PIPELINE_STAGES = ("sample", "load", "transfer", "propagate")
-
-
-@dataclass
-class EpochReport:
-    """Everything one epoch produced.
-
-    ``epoch_time_s`` is *virtual* (modelled-hardware) time; functional
-    quality metrics are populated only by :meth:`HyScaleGNN.train_epoch`.
-    """
-
-    mode: str                                  # "functional" | "simulated"
-    iterations: int
-    epoch_time_s: float
-    timeline: Timeline
-    stage_history: list[StageTimes] = field(default_factory=list)
-    split_history: list[WorkloadSplit] = field(default_factory=list)
-    losses: list[float] = field(default_factory=list)
-    accuracies: list[float] = field(default_factory=list)
-    total_edges: float = 0.0
-
-    @property
-    def mean_loss(self) -> float:
-        return float(np.mean(self.losses)) if self.losses else float("nan")
-
-    @property
-    def throughput_mteps(self) -> float:
-        """Eq. 5 over the whole epoch."""
-        if self.epoch_time_s <= 0:
-            return 0.0
-        return self.total_edges / self.epoch_time_s / 1e6
-
-    def bottleneck_stage(self) -> str | None:
-        """Dominant pipeline stage over the epoch."""
-        return self.timeline.bottleneck_stage()
+__all__ = ["EpochReport", "HyScaleGNN"]
 
 
 class HyScaleGNN:
@@ -126,353 +67,104 @@ class HyScaleGNN:
                  profile_probes: int = 6,
                  sampler_rate_per_thread: float | None = None,
                  fpga_n_pes: int = 8, fpga_m_macs: int = 2048) -> None:
-        if platform.num_accelerators == 0 and not (
-                sys_cfg is None or sys_cfg.hybrid):
-            raise ConfigError("no accelerators and no CPU trainer")
-        self.dataset = dataset
-        self.platform = platform
-        self.train_cfg = train_cfg
-        self.sys_cfg = sys_cfg if sys_cfg is not None else SystemConfig()
-        self.full_scale = full_scale
-
-        self.dims = layer_dims(dataset.spec.feature_dim,
-                               train_cfg.hidden_dim,
-                               dataset.spec.num_classes,
-                               train_cfg.num_layers)
-        self.sampler = NeighborSampler(
-            dataset.graph, dataset.train_ids, train_cfg.fanouts,
-            dataset.spec.feature_dim, seed=train_cfg.seed)
-        measured = SamplingProfile.measure(
-            self.sampler, train_cfg.minibatch_size,
-            num_probes=profile_probes, seed=train_cfg.seed + 1)
-        if full_scale:
-            # Replace the measured means with the full-graph projection,
-            # keeping the measured relative variation for jitter.
-            self.profile = SamplingProfile(
-                base_minibatch_size=train_cfg.minibatch_size,
-                mean_stats=project_full_scale_stats(
-                    dataset.graph, dataset.spec, train_cfg.fanouts,
-                    train_cfg.minibatch_size),
-                rel_std=measured.rel_std)
-        else:
-            self.profile = measured
-        pm_kwargs = {}
-        if sampler_rate_per_thread is not None:
-            pm_kwargs["sampler_rate_per_thread"] = sampler_rate_per_thread
-        from .quantize import TRANSFER_BYTES
-        self.perfmodel = PerformanceModel(
-            platform, self.dims, train_cfg.model, self.profile,
-            transfer_elem_bytes=TRANSFER_BYTES[
-                self.sys_cfg.transfer_precision],
-            fpga_n_pes=fpga_n_pes, fpga_m_macs=fpga_m_macs, **pm_kwargs)
-
-        # ---- compile-time coarse mapping (paper §IV-A) ----
-        if self.sys_cfg.hybrid:
-            self.split = initial_mapping(
-                self.perfmodel, train_cfg.minibatch_size,
-                hybrid=True, pipelined=self.sys_cfg.prefetch,
-                coarse=True).split
-        else:
-            n = platform.num_accelerators
-            self.split = WorkloadSplit(
-                cpu_targets=0,
-                accel_targets=(train_cfg.minibatch_size,) * n,
-                sample_threads=128, load_threads=64, train_threads=0)
-        self.initial_split = self.split
-
-        # ---- trainers + synchronizer (functional plane) ----
-        self._degrees = dataset.graph.out_degrees
-        self.trainers: list[TrainerNode] = []
-        if self.sys_cfg.hybrid:
-            self.trainers.append(TrainerNode(
-                "cpu", "cpu",
-                build_model(train_cfg.model, self.dims, train_cfg.seed),
-                None, self.dims, train_cfg.model))
-        for i in range(platform.num_accelerators):
-            self.trainers.append(TrainerNode(
-                f"accel{i}", "accel",
-                build_model(train_cfg.model, self.dims, train_cfg.seed),
-                None, self.dims, train_cfg.model))
-        self.synchronizer = GradientSynchronizer(
-            [t.model for t in self.trainers], weighting="batch")
-        self.optimizers = [SGD(t.model, lr=train_cfg.learning_rate)
-                           for t in self.trainers]
-
-        self.drm = DRMEngine(self.sys_cfg, train_cfg.minibatch_size,
-                             hybrid=self.sys_cfg.hybrid,
-                             pipelined=self.sys_cfg.prefetch) \
-            if self.sys_cfg.drm else None
-        self._rng = np.random.default_rng(train_cfg.seed + 2)
+        self.session = TrainingSession(
+            dataset, train_cfg, sys_cfg, platform,
+            full_scale=full_scale, profile_probes=profile_probes,
+            sampler_rate_per_thread=sampler_rate_per_thread,
+            fpga_n_pes=fpga_n_pes, fpga_m_macs=fpga_m_macs)
+        self.backend = VirtualTimeBackend(self.session)
 
     # ------------------------------------------------------------------
-    # Helpers
+    # Session delegation (the public surface predating the core split)
     # ------------------------------------------------------------------
     @property
+    def dataset(self) -> GraphDataset:
+        return self.session.dataset
+
+    @property
+    def platform(self) -> PlatformSpec:
+        return self.session.platform
+
+    @property
+    def train_cfg(self) -> TrainingConfig:
+        return self.session.train_cfg
+
+    @property
+    def sys_cfg(self) -> SystemConfig:
+        return self.session.sys_cfg
+
+    @property
+    def full_scale(self) -> bool:
+        return self.session.full_scale
+
+    @property
+    def dims(self):
+        return self.session.dims
+
+    @property
+    def sampler(self):
+        return self.session.sampler
+
+    @property
+    def profile(self):
+        return self.session.profile
+
+    @property
+    def perfmodel(self):
+        return self.session.perfmodel
+
+    @property
+    def split(self) -> WorkloadSplit:
+        return self.session.split
+
+    @split.setter
+    def split(self, value: WorkloadSplit) -> None:
+        self.session.split = value
+
+    @property
+    def initial_split(self) -> WorkloadSplit:
+        return self.session.initial_split
+
+    @property
+    def trainers(self):
+        return self.session.trainers
+
+    @property
+    def synchronizer(self):
+        return self.session.synchronizer
+
+    @property
+    def optimizers(self):
+        return self.session.optimizers
+
+    @property
+    def drm(self):
+        return self.session.drm
+
+    @property
     def num_trainers(self) -> int:
-        return len(self.trainers)
-
-    def _split_target_counts(self) -> list[int]:
-        """Per-trainer target quota in trainer order."""
-        counts = []
-        if self.sys_cfg.hybrid:
-            counts.append(self.split.cpu_targets)
-        counts.extend(self.split.accel_targets)
-        return counts
-
-    def _launch_overhead_s(self) -> float:
-        """Per-iteration accelerator launch cost (simulated-actual only)."""
-        accel = self.platform.accelerator
-        if accel is None or self.platform.num_accelerators == 0:
-            return 0.0
-        if accel.kind == "fpga":
-            launches = 2
-        else:
-            launches = 6 * self.train_cfg.num_layers * 2
-        return launches * accel.kernel_launch_s
-
-    def _stage_times(self, stats_cpu: MiniBatchStats | None,
-                     stats_accel: list[MiniBatchStats | None]
-                     ) -> StageTimes:
-        return self.perfmodel.stage_times(self.split, stats_cpu,
-                                          stats_accel)
-
-    def _duration_row(self, times: StageTimes) -> list[float]:
-        """Pipeline-stage durations including the 'actual' extras the
-        analytic model omits (paper §VI-C): kernel-launch latency and
-        pipeline-flush overhead on the accelerator pass, plus PCIe
-        duplex contention between prefetch pushes and gradient pulls
-        (only present when the stages actually overlap)."""
-        accel = self.platform.accelerator
-        flush = accel.pipeline_flush_frac if accel is not None else 0.0
-        prop = (times.t_train_accel * (1.0 + flush)
-                if times.t_train_accel > 0 else 0.0)
-        prop = max(prop, times.t_train_cpu) + times.t_sync
-        transfer = times.t_transfer
-        if self.sys_cfg.prefetch and transfer > 0:
-            transfer *= 1.0 + self.platform.pcie.duplex_derate
-        return [times.t_sample, times.t_load, transfer,
-                prop + self._launch_overhead_s()]
-
-    def _drm_step(self, times: StageTimes, iteration: int) -> None:
-        if self.drm is not None:
-            self.split = self.drm.adjust(self.split, times, iteration)
-
-    def _make_pipeline(self) -> PipelineSimulator:
-        depth = self.sys_cfg.prefetch_depth if self.sys_cfg.prefetch \
-            else 0
-        return PipelineSimulator(_PIPELINE_STAGES, prefetch_depth=depth)
+        return self.session.num_trainers
 
     # ------------------------------------------------------------------
-    # Functional training
+    # Training / simulation entry points
     # ------------------------------------------------------------------
     def train_epoch(self, max_iterations: int | None = None
                     ) -> EpochReport:
-        """One epoch of real training with virtual-time accounting.
-
-        Every trainer with a non-zero quota samples a real batch, loads
-        real features, computes real gradients; the synchronizer averages
-        them (batch-size weighted) and every optimizer steps. Stage times
-        for the same iteration come from the realized batch statistics.
-        """
-        perm = self._rng.permutation(self.dataset.train_ids)
-        cursor = 0
-        rows: list[list[float]] = []
-        report = EpochReport(mode="functional", iterations=0,
-                             epoch_time_s=0.0, timeline=Timeline())
-        features = self.dataset.features
-        labels_all = self.dataset.labels
-
-        iteration = 0
-        while cursor < perm.size:
-            counts = self._split_target_counts()
-            stats_cpu: MiniBatchStats | None = None
-            stats_accel: list[MiniBatchStats | None] = []
-            batch_sizes: list[int] = []
-            losses_iter: list[float] = []
-            accs_iter: list[float] = []
-            edges_iter = 0.0
-
-            for idx, trainer in enumerate(self.trainers):
-                want = counts[idx]
-                take = min(want, perm.size - cursor)
-                if take <= 0:
-                    batch_sizes.append(0)
-                    if trainer.kind == "accel":
-                        stats_accel.append(None)
-                    continue
-                targets = perm[cursor:cursor + take]
-                cursor += take
-                mb = self.sampler.sample(targets)
-                st = mb.stats()
-                edges_iter += st.total_edges
-                if trainer.kind == "cpu":
-                    stats_cpu = st
-                else:
-                    stats_accel.append(st)
-                x0 = features[mb.input_nodes].astype(np.float64)
-                if trainer.kind == "accel" and \
-                        self.sys_cfg.transfer_precision != "fp32":
-                    # Accelerator inputs cross PCIe quantized (§VIII
-                    # extension); the CPU trainer reads host memory at
-                    # full precision.
-                    from .quantize import quantize_dequantize
-                    x0 = quantize_dequantize(
-                        x0, self.sys_cfg.transfer_precision)
-                rep = trainer.train_minibatch(
-                    mb, x0, labels_all[mb.targets], self._degrees)
-                self.synchronizer.signal_done(trainer.name, iteration)
-                batch_sizes.append(take)
-                losses_iter.append(rep.loss)
-                accs_iter.append(rep.accuracy)
-
-            # Trainers that got no work this iteration still participate
-            # in the all-reduce with zero gradients and weight zero.
-            active = [b for b in batch_sizes if b > 0]
-            if not active:
-                break
-            # Pad DONE signals for idle trainers (they have nothing to
-            # contribute but the barrier still counts them).
-            for idx, b in enumerate(batch_sizes):
-                if b == 0:
-                    self.trainers[idx].model.zero_grad()
-                    self.synchronizer.signal_done(
-                        self.trainers[idx].name, iteration)
-            while len(batch_sizes) < self.num_trainers:
-                batch_sizes.append(0)
-            self.synchronizer.all_reduce(batch_sizes, iteration)
-            for opt in self.optimizers:
-                opt.step()
-
-            times = self._stage_times(stats_cpu, stats_accel)
-            rows.append(self._duration_row(times))
-            report.stage_history.append(times)
-            report.split_history.append(self.split)
-            report.losses.append(float(np.mean(losses_iter)))
-            report.accuracies.append(float(np.mean(accs_iter)))
-            report.total_edges += edges_iter
-            self._drm_step(times, iteration)
-
-            iteration += 1
-            if max_iterations is not None and iteration >= max_iterations:
-                break
-
-        report.iterations = iteration
-        timeline = self._make_pipeline().run(rows)
-        report.timeline = timeline
-        report.epoch_time_s = timeline.makespan
-        return report
+        """One epoch of real training with virtual-time accounting."""
+        return self.backend.run_epoch(max_iterations)
 
     def train(self, epochs: int | None = None,
               max_iterations: int | None = None) -> list[EpochReport]:
         """Run several functional epochs."""
-        n = epochs if epochs is not None else self.train_cfg.epochs
-        return [self.train_epoch(max_iterations) for _ in range(n)]
+        return self.backend.train(epochs, max_iterations)
 
-    # ------------------------------------------------------------------
-    # Timing-only simulation
-    # ------------------------------------------------------------------
     def simulate_epoch(self, full_scale: bool | None = None,
                        iterations: int | None = None,
                        jitter: bool = True) -> EpochReport:
-        """Simulate one epoch's timing without functional training.
+        """Simulate one epoch's timing without functional training."""
+        return self.backend.simulate_epoch(full_scale, iterations, jitter)
 
-        Parameters
-        ----------
-        full_scale:
-            Use the paper-scale train-set size for the iteration count
-            (defaults to the system's construction-time setting; batch
-            statistics always come from the system's profile, which is
-            projection-based iff the system was built full-scale).
-        iterations:
-            Override the iteration count (e.g. short sweeps).
-        jitter:
-            Apply the measured per-batch size variation so iterations
-            are not identical (stragglers + DRM noise — part of the
-            predicted-vs-actual gap).
-        """
-        if full_scale is None:
-            full_scale = self.full_scale
-        base = self.train_cfg.minibatch_size
-        base_stats = self.profile.expected_stats(base)
-        if full_scale:
-            train_count = self.dataset.spec.train_count
-        else:
-            train_count = int(self.dataset.train_ids.size)
-
-        report = EpochReport(mode="simulated", iterations=0,
-                             epoch_time_s=0.0, timeline=Timeline())
-        rows: list[list[float]] = []
-        remaining = train_count
-        it = 0
-        while remaining > 0:
-            if iterations is not None and it >= iterations:
-                break
-            counts = self._split_target_counts()
-            total = sum(counts)
-            if total <= 0:
-                raise ConfigError("split trains no targets")
-            take_total = min(total, remaining)
-            frac = take_total / total
-
-            stats_cpu = None
-            stats_accel: list[MiniBatchStats | None] = []
-            k = 0
-            for trainer in self.trainers:
-                want = counts[k] if k < len(counts) else 0
-                k += 1
-                eff = int(round(want * frac))
-                # Independent per-trainer batch-size variation: the
-                # iteration barrier waits for the straggler, part of
-                # the predicted-vs-actual gap (paper Fig. 5 barriers).
-                scale_j = 1.0
-                if jitter and self.profile.rel_std > 0:
-                    scale_j = float(np.exp(self._rng.normal(
-                        0.0, self.profile.rel_std)))
-                st = base_stats.scaled(scale_j * eff / base) \
-                    if eff > 0 else None
-                if trainer.kind == "cpu":
-                    stats_cpu = st
-                else:
-                    stats_accel.append(st)
-                if st is not None:
-                    report.total_edges += st.total_edges
-            remaining -= take_total
-
-            times = self._stage_times(stats_cpu, stats_accel)
-            rows.append(self._duration_row(times))
-            report.stage_history.append(times)
-            report.split_history.append(self.split)
-            self._drm_step(times, it)
-            it += 1
-
-        report.iterations = it
-        timeline = self._make_pipeline().run(rows)
-        report.timeline = timeline
-        report.epoch_time_s = timeline.makespan
-        return report
-
-    # ------------------------------------------------------------------
     def predicted_epoch_time(self, full_scale: bool | None = None
                              ) -> float:
-        """Closed-form prediction (paper Eq. 6 steady state) — the
-        'predicted' series of Fig. 8, no launch/fill/jitter effects."""
-        if full_scale is None:
-            full_scale = self.full_scale
-        base = self.train_cfg.minibatch_size
-        base_stats = self.profile.expected_stats(base)
-        train_count = self.dataset.spec.train_count if full_scale \
-            else int(self.dataset.train_ids.size)
-        split = self.split
-        counts = self._split_target_counts()
-        stats_cpu = None
-        stats_accel: list[MiniBatchStats | None] = []
-        for trainer, want in zip(self.trainers, counts):
-            st = base_stats.scaled(want / base) if want > 0 else None
-            if trainer.kind == "cpu":
-                stats_cpu = st
-            else:
-                stats_accel.append(st)
-        times = self.perfmodel.stage_times(split, stats_cpu, stats_accel)
-        t_iter = times.iteration_time(pipelined=self.sys_cfg.prefetch)
-        iters = max(1, -(-train_count // max(1, split.total_targets)))
-        return iters * t_iter
+        """Closed-form prediction (paper Eq. 6 steady state)."""
+        return self.session.predicted_epoch_time(full_scale)

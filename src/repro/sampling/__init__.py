@@ -11,12 +11,77 @@ sampler families from the paper are implemented:
 
 Both produce :class:`MiniBatch` objects consumed by the GNN trainers and by
 the hardware kernel cost models.
+
+Sampler registry
+----------------
+The runtime never hard-codes a sampler class: it resolves
+``TrainingConfig.sampler`` through :func:`build_sampler`, so every
+execution backend (virtual-time, threaded, and future ones) accepts any
+registered family. Third-party samplers join via :func:`register_sampler`;
+a builder receives ``(graph, train_ids, train_cfg, feature_dim)`` and must
+return a :class:`Sampler`.
 """
 
+from typing import Callable
+
+from ..errors import SamplingError
 from .base import LayerBlock, MiniBatch, MiniBatchStats, Sampler
 from .neighbor import NeighborSampler
 from .saint import SaintEdgeSampler, SaintNodeSampler, SaintRWSampler
 from .full import FullBatchSampler
+
+#: name -> builder(graph, train_ids, train_cfg, feature_dim) -> Sampler.
+SAMPLER_REGISTRY: dict[str, Callable[..., Sampler]] = {}
+
+
+def register_sampler(name: str,
+                     builder: Callable[..., Sampler]) -> None:
+    """Register a sampler family under ``name``.
+
+    Re-registering an existing name replaces the builder (useful for
+    tests monkey-patching a family).
+    """
+    if not name:
+        raise SamplingError("sampler name must be non-empty")
+    SAMPLER_REGISTRY[name] = builder
+
+
+def build_sampler(name: str, graph, train_ids, train_cfg,
+                  feature_dim: int) -> Sampler:
+    """Construct the sampler family ``name`` for the given workload.
+
+    ``train_cfg`` supplies fanouts / layer count / seed; unknown names
+    raise :class:`~repro.errors.SamplingError` listing the registry.
+    """
+    try:
+        builder = SAMPLER_REGISTRY[name]
+    except KeyError:
+        raise SamplingError(
+            f"unknown sampler {name!r}; registered: "
+            f"{sorted(SAMPLER_REGISTRY)}") from None
+    return builder(graph, train_ids, train_cfg, feature_dim)
+
+
+register_sampler(
+    "neighbor",
+    lambda graph, ids, cfg, fdim: NeighborSampler(
+        graph, ids, cfg.fanouts, fdim, seed=cfg.seed))
+register_sampler(
+    "saint-node",
+    lambda graph, ids, cfg, fdim: SaintNodeSampler(
+        graph, ids, cfg.num_layers, fdim, seed=cfg.seed))
+register_sampler(
+    "saint-edge",
+    lambda graph, ids, cfg, fdim: SaintEdgeSampler(
+        graph, ids, cfg.num_layers, fdim, seed=cfg.seed))
+register_sampler(
+    "saint-rw",
+    lambda graph, ids, cfg, fdim: SaintRWSampler(
+        graph, ids, cfg.num_layers, fdim, seed=cfg.seed))
+register_sampler(
+    "full",
+    lambda graph, ids, cfg, fdim: FullBatchSampler(
+        graph, ids, cfg.num_layers, fdim))
 
 __all__ = [
     "LayerBlock",
@@ -28,4 +93,7 @@ __all__ = [
     "SaintEdgeSampler",
     "SaintRWSampler",
     "FullBatchSampler",
+    "SAMPLER_REGISTRY",
+    "register_sampler",
+    "build_sampler",
 ]

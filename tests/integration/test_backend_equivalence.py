@@ -1,0 +1,227 @@
+"""Backend equivalence: one runtime core, two execution strategies.
+
+The refactor's central guarantee: the virtual-time backend and the
+threaded backend execute the *same* :class:`TrainingSession` and
+:class:`BatchPlan`, so for identical seed/config they must produce
+bit-identical per-iteration losses, identical DRM split trajectories,
+and identical final replica parameters — including configurations that
+were previously impossible to express on threads (hybrid CPU+accelerator
+split, DRM re-balancing, quantized PCIe transfer, non-neighbor
+samplers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig, TrainingConfig
+from repro.errors import ConfigError
+from repro.hw.topology import hyscale_cpu_fpga_platform
+from repro.runtime import (
+    HyScaleGNN,
+    ThreadedBackend,
+    ThreadedExecutor,
+    TrainingSession,
+    VirtualTimeBackend,
+    available_backends,
+    get_backend,
+)
+
+
+@pytest.fixture()
+def eq_cfg():
+    return TrainingConfig(model="sage", minibatch_size=32,
+                          fanouts=(4, 3), hidden_dim=16,
+                          learning_rate=0.05, seed=11)
+
+
+def _param_sets(trainers):
+    return [t.model.get_flat_params() for t in trainers]
+
+
+class TestHybridDRMQuantizedEquivalence:
+    """The flagship case: hybrid + DRM + int8 transfer on threads."""
+
+    @pytest.fixture()
+    def sys_cfg(self):
+        return SystemConfig(hybrid=True, drm=True, prefetch=True,
+                            transfer_precision="int8")
+
+    def test_threads_match_virtual_plane(self, tiny_ds, eq_cfg, sys_cfg,
+                                         fpga_platform):
+        system = HyScaleGNN(tiny_ds, fpga_platform, eq_cfg, sys_cfg,
+                            profile_probes=2)
+        rep_v = system.train_epoch()
+
+        ex = ThreadedExecutor(tiny_ds, eq_cfg, sys_cfg=sys_cfg,
+                              platform=fpga_platform, profile_probes=2,
+                              timeout_s=30)
+        rep_t = ex.run_epoch()
+
+        assert rep_t.iterations == rep_v.iterations
+        # Identical losses, bit for bit (same batches, same gradients,
+        # same all-reduce, same optimizer steps — threading must not
+        # change the math).
+        np.testing.assert_array_equal(rep_v.losses, rep_t.losses)
+        np.testing.assert_array_equal(rep_v.accuracies, rep_t.accuracies)
+        assert rep_t.replicas_consistent
+
+        # The DRM trajectory is part of the contract: the producer
+        # applies Algorithm 1 in virtual-plane order.
+        assert rep_v.split_history == rep_t.split_history
+        assert rep_v.stage_history == rep_t.stage_history
+        assert rep_v.total_edges == rep_t.total_edges
+        assert rep_t.virtual_time_s == pytest.approx(rep_v.epoch_time_s)
+
+        # Final model replicas agree across planes, parameter for
+        # parameter.
+        for pv, pt in zip(_param_sets(system.trainers),
+                          _param_sets(ex.trainers)):
+            np.testing.assert_array_equal(pv, pt)
+
+    def test_threaded_plane_runs_hybrid_trainer_set(self, tiny_ds,
+                                                    eq_cfg, sys_cfg,
+                                                    fpga_platform):
+        ex = ThreadedExecutor(tiny_ds, eq_cfg, sys_cfg=sys_cfg,
+                              platform=fpga_platform, profile_probes=2,
+                              timeout_s=30)
+        assert [t.kind for t in ex.trainers] == ["cpu", "accel", "accel"]
+        assert ex.drm is not None
+        rep = ex.run(3)
+        assert len(ex.drm.decisions) == 3
+        assert ex.split.total_targets == ex.session.initial_split.total_targets
+
+    def test_quantization_flag_is_live_on_threads(self, tiny_ds, eq_cfg,
+                                                  fpga_platform):
+        """int8 transfer must change accelerator inputs (and hence
+        losses) relative to fp32 — proving the policy executes on the
+        threaded plane rather than being silently ignored."""
+        def run(precision):
+            sys_cfg = SystemConfig(hybrid=True, drm=False, prefetch=True,
+                                   transfer_precision=precision)
+            ex = ThreadedExecutor(tiny_ds, eq_cfg, sys_cfg=sys_cfg,
+                                  platform=fpga_platform,
+                                  profile_probes=2, timeout_s=30)
+            return ex.run(3).losses
+
+        assert run("int8") != run("fp32")
+
+
+class TestFunctionalOnlyEquivalence:
+    """Platform-less sessions: the two backends still agree."""
+
+    def test_same_plan_same_losses(self, tiny_ds, eq_cfg):
+        def session():
+            return TrainingSession(tiny_ds, eq_cfg, SystemConfig(
+                hybrid=True, drm=False, prefetch=True), num_trainers=3)
+
+        rep_v = VirtualTimeBackend(session()).run_epoch()
+        rep_t = ThreadedBackend(session(), timeout_s=30).run_epoch()
+        assert rep_t.iterations == rep_v.iterations
+        np.testing.assert_array_equal(rep_v.losses, rep_t.losses)
+        assert rep_t.replicas_consistent
+
+    def test_pluggable_sampler_equivalent_across_backends(self, tiny_ds,
+                                                          eq_cfg):
+        """A non-neighbor sampler (GraphSAINT random walk) — previously
+        impossible on threads — behaves identically on both backends."""
+        cfg = eq_cfg.with_updates(sampler="saint-rw")
+
+        def session():
+            return TrainingSession(tiny_ds, cfg, SystemConfig(
+                hybrid=True, drm=False, prefetch=True), num_trainers=2)
+
+        rep_v = VirtualTimeBackend(session()).run_epoch(max_iterations=3)
+        rep_t = ThreadedBackend(session(), timeout_s=30).run(3)
+        np.testing.assert_array_equal(rep_v.losses, rep_t.losses)
+        assert rep_t.replicas_consistent
+
+
+class TestEpochSemantics:
+    """Satellite fix: a threaded epoch covers the train set exactly."""
+
+    def test_plan_epoch_partitions_train_set(self, tiny_ds, eq_cfg):
+        session = TrainingSession(tiny_ds, eq_cfg, SystemConfig(
+            hybrid=True, drm=False, prefetch=True), num_trainers=3)
+        seen = []
+        for planned in session.plan.start_epoch():
+            for targets in planned.assignments:
+                if targets is not None:
+                    seen.append(targets)
+        flat = np.concatenate(seen)
+        # Every train vertex exactly once — no repeats, no gaps.
+        assert flat.size == tiny_ds.train_ids.size
+        np.testing.assert_array_equal(np.sort(flat), tiny_ds.train_ids)
+
+    def test_run_epoch_iteration_count(self, tiny_ds, eq_cfg):
+        ex = ThreadedExecutor(tiny_ds, eq_cfg, num_trainers=2,
+                              timeout_s=30)
+        rep = ex.run_epoch()
+        assert rep.iterations == ex.session.iterations_per_epoch()
+
+    def test_long_runs_roll_into_fresh_epochs(self, tiny_ds, eq_cfg):
+        ex = ThreadedExecutor(tiny_ds, eq_cfg, num_trainers=2,
+                              timeout_s=30)
+        per_epoch = ex.session.iterations_per_epoch()
+        rep = ex.run(per_epoch + 2)
+        assert len(rep.losses) == per_epoch + 2
+        assert ex.session.plan.epochs_started == 2
+
+
+class TestSessionValidation:
+    def test_drm_without_platform_rejected_eagerly(self, tiny_ds,
+                                                   eq_cfg):
+        """DRM needs stage times; a platform-less session must refuse
+        it loudly rather than silently dropping the feature."""
+        with pytest.raises(ConfigError):
+            TrainingSession(tiny_ds, eq_cfg,
+                            SystemConfig(hybrid=True, drm=True),
+                            platform=None)
+
+
+class TestSamplerRegistry:
+    def test_unknown_sampler_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            TrainingConfig(sampler="ladies")
+
+    def test_registered_third_party_sampler_accepted(self, tiny_ds,
+                                                     eq_cfg):
+        """register_sampler names are valid config values and flow
+        through the session into any backend."""
+        from repro.sampling import (
+            SAMPLER_REGISTRY,
+            NeighborSampler,
+            register_sampler,
+        )
+        register_sampler(
+            "custom-neighbor",
+            lambda graph, ids, cfg, fdim: NeighborSampler(
+                graph, ids, cfg.fanouts, fdim, seed=cfg.seed))
+        try:
+            cfg = eq_cfg.with_updates(sampler="custom-neighbor")
+            session = TrainingSession(tiny_ds, cfg, SystemConfig(
+                hybrid=True, drm=False, prefetch=True), num_trainers=2)
+            assert isinstance(session.sampler, NeighborSampler)
+            rep = VirtualTimeBackend(session).run_epoch(max_iterations=2)
+            assert rep.iterations == 2
+        finally:
+            SAMPLER_REGISTRY.pop("custom-neighbor", None)
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        assert available_backends() == ("threaded", "virtual")
+        assert get_backend("virtual") is VirtualTimeBackend
+        assert get_backend("threaded") is ThreadedBackend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            get_backend("quantum")
+
+    def test_backend_constructible_from_registry(self, tiny_ds, eq_cfg,
+                                                 fpga_platform):
+        session = TrainingSession(tiny_ds, eq_cfg, platform=fpga_platform,
+                                  profile_probes=2)
+        backend = get_backend("virtual")(session)
+        rep = backend.run_epoch(max_iterations=2)
+        assert rep.iterations == 2
+        assert all(np.isfinite(l) for l in rep.losses)
