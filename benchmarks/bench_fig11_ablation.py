@@ -58,16 +58,18 @@ def test_fig11_tfp_gain_is_largest_single_step(benchmark):
 def _smoke(backend: str) -> None:
     """Quick ablation pass on one dataset — the CI backend smoke.
 
-    The virtual backend sweeps a shortened timing simulation; the
-    threaded backend runs the same four preset sessions functionally on
-    live threads (a scaled-down config keeps it within seconds).
+    The virtual backend sweeps a shortened timing simulation; live
+    backends (threaded, process) run the same four preset sessions
+    functionally — threads behind the GIL, worker processes over the
+    shared-memory feature store (a scaled-down config keeps either
+    within seconds).
     """
     overrides = dict(minibatch_size=128, fanouts=(5, 5), hidden_dim=32)
     res = run_ablation(platform_kind="fpga", num_accels=2,
                        datasets=("ogbn-products",), backend=backend,
                        iterations=4,
-                       config_overrides=overrides
-                       if backend == "threaded" else None)
+                       config_overrides=None
+                       if backend == "virtual" else overrides)
     print(res.render())
 
 
@@ -77,7 +79,8 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(
         description="Fig. 11 ablation smoke (see pytest for the full "
                     "figure reproduction)")
-    parser.add_argument("--backend", choices=("virtual", "threaded"),
+    parser.add_argument("--backend",
+                        choices=("virtual", "threaded", "process"),
                         default="virtual",
                         help="execution backend the presets run on")
     parser.add_argument("--smoke", action="store_true",

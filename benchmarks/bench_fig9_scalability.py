@@ -5,13 +5,22 @@ models, produced with the performance model exactly as the paper does.
 Paper observations reproduced as assertions: good scaling to ~12
 accelerators, host-DDR saturation beyond, and the PCIe-bound
 products+GCN configuration scaling worst.
+
+Run as a script for the *wall-clock* variant: ``--backend process``
+sweeps live trainer replicas (one worker process each, shared-memory
+feature store — GIL-free) and reports measured speedup;
+``--backend threaded`` gives the GIL-bound reference curve and
+``--backend virtual`` prints the paper's perf-model projection.
 """
 
 import functools
 
 import pytest
 
-from repro.bench.experiments import run_scalability
+from repro.bench.experiments import (
+    run_scalability,
+    run_wallclock_scalability,
+)
 
 COUNTS = (1, 2, 4, 8, 16)
 
@@ -51,3 +60,31 @@ def test_fig9_scaling_efficiency_drops_past_8(benchmark):
         eff4 = row[2 + COUNTS.index(4)] / 4
         eff16 = row[2 + COUNTS.index(16)] / 16
         assert eff16 <= eff4 + 1e-9
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Fig. 9 scalability (see pytest for the perf-model "
+                    "figure; script mode sweeps live backends on "
+                    "wall-clock time)")
+    parser.add_argument("--backend",
+                        choices=("virtual", "threaded", "process"),
+                        default="virtual",
+                        help="'virtual' prints the perf-model "
+                             "projection; live backends measure "
+                             "wall time")
+    parser.add_argument("--trainers", type=int, nargs="+",
+                        default=(1, 2, 4),
+                        help="trainer replica counts for live sweeps")
+    parser.add_argument("--iterations", type=int, default=4,
+                        help="synchronized iterations per live point")
+    args = parser.parse_args()
+    if args.backend == "virtual":
+        print(run_scalability().render())
+    else:
+        print(run_wallclock_scalability(
+            trainer_counts=tuple(args.trainers),
+            backend=args.backend,
+            iterations=args.iterations).render())

@@ -22,11 +22,17 @@ This package is the paper's primary contribution (§III-§IV):
   :class:`ExecutionBackend` subclass: ``get_backend("virtual")`` returns
   :class:`VirtualTimeBackend` (sequential, modelled-hardware time —
   the paper-figure plane), ``get_backend("threaded")`` returns
-  :class:`ThreadedBackend` (live threads, Listing-1 handshakes). Both
-  execute the *same* plan and session, so hybrid split, DRM, prefetch
-  and transfer quantization behave identically on either; new executors
-  (process pool, async pipeline, multi-node) join via
-  :func:`register_backend` without touching the core;
+  :class:`ThreadedBackend` (live threads, Listing-1 handshakes), and
+  ``get_backend("process")`` returns :class:`ProcessPoolBackend`
+  (worker processes over a shared-memory feature store — GIL-free
+  NumPy training). All execute the *same* plan and session, so hybrid
+  split, DRM, prefetch and transfer quantization behave identically on
+  each; new executors (async pipeline, multi-node) join via
+  :func:`register_backend` without touching the core and inherit the
+  conformance suite (``tests/integration/backend_conformance.py``);
+* :mod:`repro.runtime.shm` — :class:`SharedFeatureStore`, the
+  single-segment shared-memory mapping of the dataset's features,
+  labels and CSR topology that process workers gather from zero-copy;
 * :mod:`repro.runtime.hybrid` — :class:`HyScaleGNN`, the top-level
   system facade (session + virtual-time backend);
 * :mod:`repro.runtime.executor` — :class:`ThreadedExecutor`, the
@@ -39,9 +45,11 @@ from .trainer import TrainerNode, TrainerReport
 from .prefetch import PrefetchBuffer
 from .drm import DRMDecision, DRMEngine
 from .core import BatchPlan, PlannedIteration, TrainingSession
+from .shm import SharedFeatureStore, SharedStoreManifest
 from .backends import (
     BACKENDS,
     ExecutionBackend,
+    ProcessPoolBackend,
     ThreadedBackend,
     VirtualTimeBackend,
     available_backends,
@@ -50,6 +58,7 @@ from .backends import (
 )
 from .backends.threaded import ExecutorReport
 from .backends.virtual import EpochReport
+from .backends.process_pool import ProcessReport
 from .hybrid import HyScaleGNN
 from .executor import ThreadedExecutor
 
@@ -70,6 +79,10 @@ __all__ = [
     "ExecutionBackend",
     "VirtualTimeBackend",
     "ThreadedBackend",
+    "ProcessPoolBackend",
+    "ProcessReport",
+    "SharedFeatureStore",
+    "SharedStoreManifest",
     "BACKENDS",
     "register_backend",
     "get_backend",

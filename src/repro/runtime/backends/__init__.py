@@ -2,20 +2,25 @@
 
 A backend realizes the training protocol of a
 :class:`~repro.runtime.core.TrainingSession` on a concrete execution
-substrate. Two ship with the library:
+substrate. Three ship with the library:
 
 * ``"virtual"`` — :class:`VirtualTimeBackend`: sequential execution with
   modelled-hardware (virtual-time) accounting; the paper-figure plane.
 * ``"threaded"`` — :class:`ThreadedBackend`: live Python threads with
   the paper's Listing-1 condition-variable handshakes.
+* ``"process"`` — :class:`ProcessPoolBackend`: one worker *process* per
+  trainer replica over a shared-memory feature store
+  (:class:`~repro.runtime.shm.SharedFeatureStore`) — GIL-free NumPy
+  training, DistDGL-style.
 
-Both consume the same :class:`~repro.runtime.core.BatchPlan` and session,
+All consume the same :class:`~repro.runtime.core.BatchPlan` and session,
 so every feature flag — hybrid CPU+accelerator split, DRM, two-stage
 prefetch, transfer quantization, pluggable samplers — behaves identically
-on both; ``tests/integration/test_backend_equivalence.py`` asserts
-loss-for-loss parity. Future executors (process pool, async prefetch
-pipeline, multi-node sharding) plug in through
-:func:`register_backend`.
+on each; ``tests/integration/backend_conformance.py`` holds every
+registered backend (third-party ones included) to bit-identical parity
+with the virtual reference. Future executors (async prefetch pipeline,
+multi-node sharding) plug in through :func:`register_backend` and
+inherit that suite for free.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from ...errors import ConfigError
 from .base import ExecutionBackend
 from .virtual import EpochReport, VirtualTimeBackend
 from .threaded import ExecutorReport, ThreadedBackend
+from .process_pool import ProcessPoolBackend, ProcessReport
 
 #: name -> backend class. Mutated only through :func:`register_backend`.
 BACKENDS: dict[str, type[ExecutionBackend]] = {}
@@ -36,7 +42,9 @@ def register_backend(cls: type[ExecutionBackend]
     Usable as a class decorator; returns ``cls`` unchanged.
     """
     if not getattr(cls, "name", ""):
-        raise ConfigError("backend class needs a non-empty `name`")
+        raise ConfigError(
+            f"backend class needs a non-empty `name`; registered: "
+            f"{sorted(BACKENDS)}")
     BACKENDS[cls.name] = cls
     return cls
 
@@ -58,13 +66,16 @@ def available_backends() -> tuple[str, ...]:
 
 register_backend(VirtualTimeBackend)
 register_backend(ThreadedBackend)
+register_backend(ProcessPoolBackend)
 
 __all__ = [
     "ExecutionBackend",
     "VirtualTimeBackend",
     "ThreadedBackend",
+    "ProcessPoolBackend",
     "EpochReport",
     "ExecutorReport",
+    "ProcessReport",
     "BACKENDS",
     "register_backend",
     "get_backend",

@@ -1,0 +1,431 @@
+"""Multi-process execution backend (GIL-free trainer replicas).
+
+The threaded backend realizes the paper's Listing-1 protocol but every
+NumPy forward/backward still serializes behind the GIL, so trainer
+concurrency never turns into wall-clock speedup. This backend runs each
+GNN Trainer in a :mod:`multiprocessing` worker process instead —
+the DistDGL-style recipe: process-level parallel trainers over a shared
+feature store — while keeping results loss-for-loss **bit-identical** to
+the virtual-time plane.
+
+Division of labor per iteration:
+
+* the **parent** owns the session and drives the exact virtual-plane
+  order: it slices per-trainer targets off the shared
+  :class:`~repro.runtime.core.BatchPlan`, samples every mini-batch
+  through ``session.sampler`` (all stochastic draws — epoch
+  permutations, neighbor sampling — stay in the parent's single RNG
+  stream, which is what makes the trajectory reproducible across every
+  backend), ships each worker its batch as compact pickled index arrays,
+  runs the :class:`~repro.runtime.synchronizer.GradientSynchronizer`
+  all-reduce over the returned gradients, records modelled stage times,
+  and applies the DRM adjustment;
+* each **worker** holds one model replica, synced once at startup to
+  the parent's current parameters (so a session that already trained —
+  under any backend — resumes bit-identically), gathers its batch's
+  features zero-copy from the
+  :class:`~repro.runtime.shm.SharedFeatureStore`,
+  applies the transfer-quantization policy for accelerator replicas,
+  runs forward/backward, and returns ``(loss, accuracy, gradients)``;
+  after the all-reduce it receives the averaged gradient and steps its
+  local SGD — the same in-place update the parent applies to its mirror
+  replicas, keeping all copies bit-equal without pickling parameters
+  during steady state (parameters cross the pipe exactly twice per
+  worker per run: the startup sync down, the parity audit up).
+
+Only mini-batches (int64 index arrays) and gradients (one flat float64
+vector each way) cross process boundaries; features never do.
+
+``tests/integration/backend_conformance.py`` holds this backend to the
+full parity matrix against the virtual reference, including hybrid +
+DRM + int8 transfer; the shared-memory segment is torn down in a
+``finally`` so no segment survives a run (clean or failed).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...errors import ProtocolError
+from ...perfmodel.model import StageTimes, WorkloadSplit
+from ...sim.trace import Timeline
+from ..protocol import ProtocolLog, Signal
+from .base import ExecutionBackend
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a worker needs to rebuild its trainer (picklable)."""
+
+    index: int
+    name: str
+    kind: str                  # "cpu" | "accel"
+    model_name: str
+    dims: tuple[int, ...]
+    seed: int
+    learning_rate: float
+    transfer_precision: str
+
+
+@dataclass
+class ProcessReport:
+    """Outcome of a multi-process run.
+
+    Field-compatible with the threaded plane's ``ExecutorReport`` (the
+    conformance kit reads both generically). ``wall_time_s`` is real
+    elapsed *training* time — clocked from all workers reporting ready
+    to the last synchronized iteration, so it excludes process spawn
+    and the shared-memory copy (reported separately as
+    ``startup_time_s``), the final parity audit, and teardown;
+    ``virtual_time_s`` is the modelled makespan when the session
+    carries a timing plane.
+    """
+
+    iterations: int
+    num_workers: int = 0
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    startup_time_s: float = 0.0
+    protocol_log: ProtocolLog = field(default_factory=ProtocolLog)
+    replicas_consistent: bool = False
+    stage_history: list[StageTimes] = field(default_factory=list)
+    split_history: list[WorkloadSplit] = field(default_factory=list)
+    total_edges: float = 0.0
+    virtual_time_s: float = 0.0
+    timeline: Timeline = field(default_factory=Timeline)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+def _rebuild_minibatch(node_ids, blocks_raw, feature_dim):
+    """Re-materialize a MiniBatch from its wire form (validates)."""
+    from ...sampling.base import LayerBlock, MiniBatch
+    blocks = tuple(LayerBlock(src_local=src, dst_local=dst,
+                              num_src=int(ns), num_dst=int(nd))
+                   for src, dst, ns, nd in blocks_raw)
+    return MiniBatch(node_ids=tuple(node_ids), blocks=blocks,
+                     feature_dim=int(feature_dim))
+
+
+def _worker_main(conn, manifest, spec: _WorkerSpec) -> None:
+    """One trainer replica: map the store, train on request, mirror the
+    synchronized update. Runs until ``("stop",)`` or pipe EOF."""
+    store = None
+    try:
+        from ...nn.models import build_model
+        from ...nn.optim import SGD
+        from ..core import gather_batch_features
+        from ..shm import SharedFeatureStore
+        from ..trainer import TrainerNode
+
+        store = SharedFeatureStore.attach(manifest)
+        features = store.features
+        labels = store.labels
+        degrees = store.degrees          # private copy, outlives views
+        model = build_model(spec.model_name, spec.dims, spec.seed)
+        node = TrainerNode(spec.name, spec.kind, model, None, spec.dims,
+                           spec.model_name)
+        opt = SGD(model, lr=spec.learning_rate)
+        conn.send(("ready", spec.index))
+
+        while True:
+            msg = conn.recv()
+            tag = msg[0]
+            if tag == "train":
+                _, it, node_ids, blocks_raw, feature_dim = msg
+                mb = _rebuild_minibatch(node_ids, blocks_raw, feature_dim)
+                # The session's exact feature path (gather, float64
+                # widen, accel quantization), against the shared store.
+                x0 = gather_batch_features(features, mb, spec.kind,
+                                           spec.transfer_precision)
+                rep = node.train_minibatch(mb, x0, labels[mb.targets],
+                                           degrees)
+                conn.send(("result", it, rep.loss, rep.accuracy,
+                           rep.batch_targets, model.get_flat_grads()))
+            elif tag == "apply":
+                _, _, avg = msg
+                model.set_flat_grads(avg)
+                opt.step()
+            elif tag == "init":
+                model.set_flat_params(msg[1])
+            elif tag == "params":
+                conn.send(("params", model.get_flat_params()))
+            elif tag == "stop":
+                return
+            else:
+                raise ProtocolError(f"unknown message tag {tag!r}")
+    except EOFError:
+        pass                              # parent went away: just exit
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        if store is not None:
+            # Release the shm-backed views before unmapping, else
+            # close() raises BufferError on the exported buffers.
+            features = labels = None  # noqa: F841
+            try:
+                store.close()             # never unlink: parent owns it
+            except Exception:
+                pass
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side backend
+# ---------------------------------------------------------------------------
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Run synchronous-SGD training on worker *processes*.
+
+    Parameters
+    ----------
+    session:
+        The shared runtime core; one worker process is spawned per
+        trainer replica (hybrid platform sessions: CPU + one per
+        accelerator).
+    timeout_s:
+        Watchdog on every cross-process wait — a dead or wedged worker
+        fails the run fast instead of hanging the suite.
+    mp_context:
+        ``multiprocessing`` start method (``"fork"`` where available —
+        workers inherit the imported library for near-instant startup —
+        else ``"spawn"``). Pass explicitly to override.
+    """
+
+    name = "process"
+
+    def __init__(self, session, timeout_s: float = 120.0,
+                 mp_context: str | None = None) -> None:
+        super().__init__(session)
+        if timeout_s <= 0:
+            raise ProtocolError("timeout_s must be positive")
+        if mp_context is None:
+            methods = mp.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self.timeout_s = timeout_s
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def run_epoch(self, max_iterations: int | None = None
+                  ) -> ProcessReport:
+        """Execute one epoch (or ``max_iterations``, whichever is less)."""
+        iters = self.session.iterations_per_epoch()
+        if max_iterations is not None:
+            iters = min(iters, max_iterations)
+        return self.run(iters)
+
+    def run(self, iterations: int) -> ProcessReport:
+        """Execute ``iterations`` synchronized iterations.
+
+        Workers and the shared-memory store live exactly as long as this
+        call: both are torn down in a ``finally`` (terminate + unlink),
+        so neither processes nor segments can leak past a run.
+        """
+        if iterations < 1:
+            raise ProtocolError("iterations must be >= 1")
+        from ..shm import SharedFeatureStore
+
+        s = self.session
+        n = s.num_trainers
+        report = ProcessReport(iterations=iterations, num_workers=n)
+        rows: list[list[float]] = []
+
+        setup_start = time.perf_counter()
+        # Resolve the context before creating the segment: an invalid
+        # start method must not leak a dataset-sized /dev/shm block.
+        ctx = mp.get_context(self.mp_context)
+        store = SharedFeatureStore.create(s.dataset)
+        conns = []
+        procs = []
+        try:
+            for idx, trainer in enumerate(s.trainers):
+                spec = _WorkerSpec(
+                    index=idx, name=trainer.name, kind=trainer.kind,
+                    model_name=trainer.model_name, dims=trainer.dims,
+                    seed=s.train_cfg.seed,
+                    learning_rate=s.train_cfg.learning_rate,
+                    transfer_precision=s.sys_cfg.transfer_precision)
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, store.manifest, spec),
+                    name=f"repro-{trainer.name}", daemon=True)
+                proc.start()
+                child_conn.close()        # parent keeps its end only
+                conns.append(parent_conn)
+                procs.append(proc)
+
+            # Wait for every worker to finish mapping the store and
+            # building its replica, then sync each to the parent's
+            # *current* parameters — a session that already trained
+            # (under any backend) resumes bit-identically instead of
+            # silently restarting workers from the init seed. Only then
+            # start the training clock: wall_time_s measures the
+            # synchronized loop, not spawn or the one-time broadcast.
+            for idx in range(n):
+                tag, widx = self._recv(conns, idx)
+                if tag != "ready" or widx != idx:
+                    raise ProtocolError(
+                        f"worker {idx} sent {tag!r}/{widx} instead of "
+                        "its ready handshake")
+                self._send(conns, idx,
+                           ("init",
+                            s.trainers[idx].model.get_flat_params()))
+            report.startup_time_s = time.perf_counter() - setup_start
+            start = time.perf_counter()
+
+            for it, planned in s.plan.iterate(iterations):
+                self._run_iteration(it, planned, conns, report, rows)
+            report.wall_time_s = time.perf_counter() - start
+
+            report.replicas_consistent = self._check_parity(conns)
+        finally:
+            self._shutdown(conns, procs, store)
+        if s.has_timing and rows:
+            timeline = s.make_pipeline().run(rows)
+            report.timeline = timeline
+            report.virtual_time_s = timeline.makespan
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_iteration(self, it: int, planned, conns, report,
+                       rows) -> None:
+        """One Fig.-5 iteration: scatter batches, gather gradients,
+        all-reduce, broadcast the averaged update — in exactly the
+        virtual-plane order so the RNG/DRM trajectory is bit-identical."""
+        s = self.session
+        stats_cpu = None
+        stats_accel: list = []
+        busy: list[int] = []
+
+        for idx, trainer in enumerate(s.trainers):
+            targets = planned.assignments[idx]
+            if targets is None:
+                if trainer.kind == "accel":
+                    stats_accel.append(None)
+                # Idle replica: zero gradients, weight zero in the
+                # all-reduce (parent mirrors; worker just applies the
+                # averaged update when it arrives).
+                trainer.model.zero_grad()
+                continue
+            mb = s.sampler.sample(targets)
+            st = mb.stats()
+            report.total_edges += st.total_edges
+            if trainer.kind == "cpu":
+                stats_cpu = st
+            else:
+                stats_accel.append(st)
+            self._send(conns, idx, (
+                "train", it, mb.node_ids,
+                [(b.src_local, b.dst_local, b.num_src, b.num_dst)
+                 for b in mb.blocks],
+                mb.feature_dim))
+            busy.append(idx)
+
+        losses: list[float] = []
+        accs: list[float] = []
+        for idx in busy:
+            msg = self._recv(conns, idx)
+            tag, rit, loss, acc, ntargets, grads = msg
+            if tag != "result" or rit != it:
+                raise ProtocolError(
+                    f"worker {idx} answered {tag!r} for iteration "
+                    f"{rit}, expected result for {it}")
+            s.trainers[idx].model.set_flat_grads(grads)
+            losses.append(loss)
+            accs.append(acc)
+            report.protocol_log.record(it, Signal.DONE,
+                                       s.trainers[idx].name)
+
+        avg = s.synchronizer.all_reduce(list(planned.batch_sizes), it)
+        report.protocol_log.record(it, Signal.SYNC, "synchronizer")
+        for idx in range(len(conns)):
+            self._send(conns, idx, ("apply", it, avg))
+        for opt in s.optimizers:
+            opt.step()
+        report.protocol_log.record(it, Signal.ITER_START, "runtime")
+
+        report.losses.append(float(np.mean(losses)))
+        report.accuracies.append(float(np.mean(accs)))
+        if s.has_timing:
+            times = s.stage_times(stats_cpu, stats_accel)
+            rows.append(s.duration_row(times))
+            report.stage_history.append(times)
+            report.split_history.append(s.split)
+            s.drm_step(times, it)
+
+    # ------------------------------------------------------------------
+    def _send(self, conns, idx: int, msg) -> None:
+        """Send one message to worker ``idx``; a dead worker surfaces
+        as the backend's documented failure type, like ``_recv``."""
+        try:
+            conns[idx].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise ProtocolError(
+                f"worker {idx} died before {msg[0]!r} could be "
+                f"delivered: {exc!r}") from exc
+
+    def _recv(self, conns, idx: int):
+        """Receive one message from worker ``idx`` under the watchdog."""
+        conn = conns[idx]
+        try:
+            if not conn.poll(self.timeout_s):
+                raise ProtocolError(
+                    f"worker {idx} recv timeout after {self.timeout_s}s")
+            msg = conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise ProtocolError(
+                f"worker {idx} died mid-iteration: {exc!r}") from exc
+        if msg[0] == "error":
+            raise ProtocolError(
+                f"worker {idx} failed:\n{msg[1]}")
+        return msg
+
+    def _check_parity(self, conns) -> bool:
+        """Worker replicas must match the parent mirrors bit for bit."""
+        s = self.session
+        if not s.synchronizer.replicas_consistent():
+            return False
+        for idx in range(len(conns)):
+            self._send(conns, idx, ("params",))
+            tag, flat = self._recv(conns, idx)
+            if tag != "params":
+                raise ProtocolError(
+                    f"worker {idx} answered {tag!r} to a params request")
+            if not np.array_equal(flat,
+                                  s.trainers[idx].model.get_flat_params()):
+                return False
+        return True
+
+    def _shutdown(self, conns, procs, store) -> None:
+        """Stop workers and destroy the shared segment. Never raises."""
+        for conn in conns:
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        try:
+            store.close()
+        finally:
+            store.unlink()

@@ -172,17 +172,8 @@ class ThreadedBackend(ExecutionBackend):
 
         def producer() -> None:
             try:
-                produced = 0
-                while produced < iterations:
-                    before = produced
-                    for planned in s.plan.start_epoch():
-                        produce_iteration(produced, planned)
-                        produced += 1
-                        if produced >= iterations:
-                            break
-                    if produced == before:
-                        raise ProtocolError(
-                            "batch plan yielded no work for an epoch")
+                for it, planned in s.plan.iterate(iterations):
+                    produce_iteration(it, planned)
                 for b in buffers:
                     b.close()
             except BaseException as exc:  # propagate to the main thread

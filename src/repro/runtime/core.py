@@ -35,7 +35,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from ..config import SystemConfig, TrainingConfig, layer_dims
-from ..errors import ConfigError
+from ..errors import ConfigError, ProtocolError
 from ..graph.datasets import GraphDataset
 from ..hw.topology import PlatformSpec
 from ..nn.models import build_model
@@ -60,6 +60,33 @@ from .trainer import TrainerNode
 
 #: The four pipeline stages of one iteration (paper Fig. 5).
 PIPELINE_STAGES = ("sample", "load", "transfer", "propagate")
+
+
+def gather_batch_features(features: np.ndarray, mb: MiniBatch,
+                          trainer_kind: str,
+                          transfer_precision: str) -> np.ndarray:
+    """Gather one mini-batch's input features, ready for a trainer.
+
+    Exactly one row gather; the float64 conversion only copies when the
+    source stores a narrower dtype (fancy indexing already yields a
+    fresh C-contiguous array, so ``ascontiguousarray`` is a no-op
+    check, not a copy). Accelerator-bound batches additionally pay the
+    transfer-quantization round trip (paper §VIII extension); the CPU
+    trainer reads host memory at full precision.
+
+    Pure function of ``(features, batch, kind, precision)`` so every
+    execution substrate — the in-process backends via
+    :meth:`TrainingSession.load_features`, process-pool workers against
+    their shared-memory mapping — runs the identical bits.
+    """
+    x0 = features[mb.input_nodes]
+    if x0.dtype != np.float64:
+        x0 = x0.astype(np.float64)
+    else:
+        x0 = np.ascontiguousarray(x0)
+    if trainer_kind == "accel" and transfer_precision != "fp32":
+        x0 = quantize_dequantize(x0, transfer_precision)
+    return x0
 
 
 # ---------------------------------------------------------------------------
@@ -133,6 +160,36 @@ class BatchPlan:
         self.epochs_started += 1
         perm = self.rng.permutation(self.train_ids)
         return self._iterate(epoch, perm)
+
+    def iterate(self, iterations: int
+                ) -> Iterator[tuple[int, PlannedIteration]]:
+        """Yield ``(global_iteration, planned)`` for exactly
+        ``iterations`` synchronized iterations.
+
+        Rolls into a fresh epoch permutation whenever the cursor is
+        exhausted, so long runs still visit every train vertex once per
+        epoch. This is the single epoch-rolling loop every live backend
+        drives (threaded producer, process-pool parent) — the
+        numbering, the roll-over point, and the no-progress guard can
+        never drift between planes.
+
+        Raises
+        ------
+        ProtocolError
+            If an epoch yields no work (all quotas zero) — the run
+            cannot make progress.
+        """
+        produced = 0
+        while produced < iterations:
+            before = produced
+            for planned in self.start_epoch():
+                yield produced, planned
+                produced += 1
+                if produced >= iterations:
+                    return
+            if produced == before:
+                raise ProtocolError(
+                    "batch plan yielded no work for an epoch")
 
     def _iterate(self, epoch: int,
                  perm: np.ndarray) -> Iterator[PlannedIteration]:
@@ -351,22 +408,14 @@ class TrainingSession:
     def load_features(self, mb: MiniBatch, trainer_kind: str) -> np.ndarray:
         """Gather one mini-batch's input features, ready for the trainer.
 
-        Exactly one row gather; the float64 conversion only copies when
-        the dataset stores a narrower dtype (fancy indexing already
-        yields a fresh C-contiguous array, so ``ascontiguousarray`` is a
-        no-op check, not a copy). Accelerator-bound batches additionally
-        pay the transfer-quantization round trip (paper §VIII extension);
-        the CPU trainer reads host memory at full precision.
+        Delegates to the module-level :func:`gather_batch_features` —
+        the single implementation every execution substrate uses
+        (process-pool workers call it against the shared-memory feature
+        store), so the transfer policy can never drift between planes.
         """
-        x0 = self.dataset.features[mb.input_nodes]
-        if x0.dtype != np.float64:
-            x0 = x0.astype(np.float64)
-        else:
-            x0 = np.ascontiguousarray(x0)
-        if trainer_kind == "accel" and \
-                self.sys_cfg.transfer_precision != "fp32":
-            x0 = quantize_dequantize(x0, self.sys_cfg.transfer_precision)
-        return x0
+        return gather_batch_features(self.dataset.features, mb,
+                                     trainer_kind,
+                                     self.sys_cfg.transfer_precision)
 
     def labels_for(self, mb: MiniBatch) -> np.ndarray:
         return self.dataset.labels[mb.targets]

@@ -1,0 +1,225 @@
+"""Shared-memory feature store for multi-process execution backends.
+
+The process-pool backend (DistDGL-style: Zheng et al., "Distributed
+Hybrid CPU and GPU Training for Graph Neural Networks on Billion-Scale
+Graphs") runs trainer replicas in worker *processes*. Re-pickling the
+feature matrix per mini-batch would immediately re-create the PCIe-style
+traffic bottleneck the paper's feature loader avoids, so the dataset's
+big read-only arrays — node features, labels, and the CSR topology —
+are placed once in a single :mod:`multiprocessing.shared_memory` block
+and every worker maps them zero-copy.
+
+Layout: one segment, all arrays at 64-byte-aligned offsets (one segment
+means one thing to unlink, and cache-line alignment keeps NumPy gathers
+on the natural fast path). A picklable :class:`SharedStoreManifest`
+carries ``(segment name, per-array dtype/shape/offset)`` to the workers,
+which re-materialize NumPy views with :meth:`SharedFeatureStore.attach`.
+
+Lifetime / cleanup contract
+---------------------------
+* The **creator** (the backend's parent process) owns the segment: it is
+  the only party that may :meth:`unlink`. ``close()`` + ``unlink()`` run
+  in the backend's ``finally`` block, and a ``weakref.finalize`` guard
+  unlinks on garbage collection as a last resort, so no segment outlives
+  the run even on error paths.
+* **Workers** attach by name and must only :meth:`close`. Workers
+  spawned (or forked) by the creator share its ``resource_tracker``
+  process, whose name cache is a set — the attach-side re-registration
+  dedupes, and the owner's ``unlink`` clears the single entry. (The
+  bpo-39959 double-unlink problem only affects *unrelated* processes
+  attaching by name, which this store does not support.)
+* Array views pin the mapping: :meth:`close` drops the store's views
+  first; callers must not hold onto ``store.features`` etc. past close.
+"""
+
+from __future__ import annotations
+
+import secrets
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import ProtocolError
+
+#: Alignment for every array inside the segment (one x86 cache line).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Placement of one array inside the shared segment (picklable)."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape,
+                                                               dtype=np.int64)))
+
+
+@dataclass(frozen=True)
+class SharedStoreManifest:
+    """Everything a worker needs to map the store (picklable)."""
+
+    segment: str
+    arrays: tuple[SharedArraySpec, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        last = self.arrays[-1]
+        return last.offset + last.nbytes
+
+
+class SharedFeatureStore:
+    """Dataset-sized read-only arrays in one shared-memory segment.
+
+    Construct with :meth:`create` (parent / owner) or :meth:`attach`
+    (worker). Usable as a context manager: ``__exit__`` closes, and
+    additionally unlinks when this store is the owner.
+    """
+
+    #: Segment-name prefix; the teardown tests scan /dev/shm for it.
+    NAME_PREFIX = "repro_shm_"
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 manifest: SharedStoreManifest, owner: bool) -> None:
+        self._shm = shm
+        self.manifest = manifest
+        self.owner = owner
+        self._views: dict[str, np.ndarray] = {
+            spec.key: np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                                 buffer=shm.buf, offset=spec.offset)
+            for spec in manifest.arrays
+        }
+        self._closed = False
+        # Last-resort cleanup if an error path skips close()/unlink().
+        self._finalizer = weakref.finalize(
+            self, _finalize_store, shm, owner)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, dataset) -> "SharedFeatureStore":
+        """Copy ``dataset``'s big arrays into a fresh shared segment.
+
+        Shares ``features``, ``labels``, and the CSR topology
+        (``indptr``/``indices``) — everything a worker needs to gather
+        inputs and evaluate the models' degree terms without touching
+        the parent's address space.
+        """
+        arrays = {
+            "features": np.ascontiguousarray(dataset.features),
+            "labels": np.ascontiguousarray(dataset.labels),
+            "indptr": np.ascontiguousarray(dataset.graph.indptr),
+            "indices": np.ascontiguousarray(dataset.graph.indices),
+        }
+        specs: list[SharedArraySpec] = []
+        offset = 0
+        for key, arr in arrays.items():
+            offset = _aligned(offset)
+            specs.append(SharedArraySpec(key=key, dtype=arr.dtype.str,
+                                         shape=tuple(arr.shape),
+                                         offset=offset))
+            offset += arr.nbytes
+        name = f"{cls.NAME_PREFIX}{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(1, offset))
+        manifest = SharedStoreManifest(segment=shm.name,
+                                       arrays=tuple(specs))
+        store = cls(shm, manifest, owner=True)
+        for spec in specs:
+            store._views[spec.key][...] = arrays[spec.key]
+        return store
+
+    @classmethod
+    def attach(cls, manifest: SharedStoreManifest) -> "SharedFeatureStore":
+        """Map an existing store from its manifest (worker side)."""
+        shm = shared_memory.SharedMemory(name=manifest.segment)
+        return cls(shm, manifest, owner=False)
+
+    # ------------------------------------------------------------------
+    # Array access
+    # ------------------------------------------------------------------
+    def _view(self, key: str) -> np.ndarray:
+        if self._closed:
+            raise ProtocolError("shared feature store is closed")
+        return self._views[key]
+
+    @property
+    def features(self) -> np.ndarray:
+        return self._view("features")
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._view("labels")
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._view("indptr")
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._view("indices")
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degrees derived from the shared CSR (a private copy —
+        safe to hold past :meth:`close`)."""
+        return np.diff(self._view("indptr"))
+
+    @property
+    def nbytes(self) -> int:
+        return self.manifest.total_bytes
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap the segment (drops all views). Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views.clear()
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment. Owner only; idempotent."""
+        if not self.owner:
+            raise ProtocolError(
+                "only the creating process may unlink the store")
+        self._finalizer.detach()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already gone (double teardown)
+            pass
+
+    def __enter__(self) -> "SharedFeatureStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()
+
+
+def _finalize_store(shm: shared_memory.SharedMemory, owner: bool) -> None:
+    """GC-time guard: never leak a segment past the owning store."""
+    try:  # pragma: no cover - defensive
+        shm.close()
+    except Exception:
+        pass
+    if owner:
+        try:
+            shm.unlink()
+        except Exception:
+            pass

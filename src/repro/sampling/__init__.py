@@ -24,7 +24,7 @@ return a :class:`Sampler`.
 
 from typing import Callable
 
-from ..errors import SamplingError
+from ..errors import ConfigError, SamplingError
 from .base import LayerBlock, MiniBatch, MiniBatchStats, Sampler
 from .neighbor import NeighborSampler
 from .saint import SaintEdgeSampler, SaintNodeSampler, SaintRWSampler
@@ -46,20 +46,30 @@ def register_sampler(name: str,
     SAMPLER_REGISTRY[name] = builder
 
 
+def get(name: str) -> Callable[..., Sampler]:
+    """Look up a registered sampler builder by name.
+
+    Unknown names raise :class:`~repro.errors.ConfigError` listing every
+    registered family — the same contract as the execution-backend
+    registry's ``get_backend``.
+    """
+    try:
+        return SAMPLER_REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown sampler {name!r}; registered: "
+            f"{sorted(SAMPLER_REGISTRY)}") from None
+
+
 def build_sampler(name: str, graph, train_ids, train_cfg,
                   feature_dim: int) -> Sampler:
     """Construct the sampler family ``name`` for the given workload.
 
     ``train_cfg`` supplies fanouts / layer count / seed; unknown names
-    raise :class:`~repro.errors.SamplingError` listing the registry.
+    raise :class:`~repro.errors.ConfigError` listing the registry
+    (via :func:`get`).
     """
-    try:
-        builder = SAMPLER_REGISTRY[name]
-    except KeyError:
-        raise SamplingError(
-            f"unknown sampler {name!r}; registered: "
-            f"{sorted(SAMPLER_REGISTRY)}") from None
-    return builder(graph, train_ids, train_cfg, feature_dim)
+    return get(name)(graph, train_ids, train_cfg, feature_dim)
 
 
 register_sampler(
@@ -95,5 +105,6 @@ __all__ = [
     "FullBatchSampler",
     "SAMPLER_REGISTRY",
     "register_sampler",
+    "get",
     "build_sampler",
 ]

@@ -1,0 +1,173 @@
+"""Backend conformance kit: the parity matrix every backend must pass.
+
+The runtime's central guarantee is that execution strategy is *only*
+strategy: every :class:`~repro.runtime.ExecutionBackend` executes the
+same :class:`TrainingSession` / :class:`BatchPlan`, so for an identical
+seed/config it must reproduce the virtual-time reference **bit for
+bit** — per-iteration losses and accuracies, the DRM split/stage-time
+trajectory, total sampled edges, epoch coverage, and the final replica
+parameters.
+
+This module packages that guarantee as a reusable kit:
+
+* :data:`CONFORMANCE_CASES` — the configuration matrix (flagship
+  hybrid + DRM + int8 transfer on a platform session, functional-only
+  multi-trainer, and a non-neighbor sampler);
+* :func:`candidate_backends` — every registered backend except the
+  virtual reference, read live from ``available_backends()`` so a
+  backend added via ``register_backend`` (third-party included) is
+  picked up automatically by the parametrized suite in
+  ``test_backend_equivalence.py``;
+* :func:`assert_backend_conforms` — run one (backend, case) pair
+  against a fresh virtual-plane reference and assert the full matrix.
+
+Third-party backends needing constructor arguments can extend
+:data:`BACKEND_KWARGS` before the suite runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SystemConfig, TrainingConfig
+from repro.graph.datasets import GraphDataset
+from repro.hw.topology import hyscale_cpu_fpga_platform
+from repro.runtime import TrainingSession, available_backends, get_backend
+
+#: The reference plane all other backends are held to.
+REFERENCE_BACKEND = "virtual"
+
+#: Per-backend constructor keyword overrides used by the kit. Keys are
+#: registry names; anything not listed is constructed as
+#: ``get_backend(name)(session)``.
+BACKEND_KWARGS: dict[str, dict] = {
+    "threaded": {"timeout_s": 30.0},
+    "process": {"timeout_s": 120.0},
+}
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One configuration of the parity matrix.
+
+    ``platform_accels=None`` builds a functional-only session with
+    ``num_trainers`` replicas; an integer builds a platform session
+    (CPU trainer + that many accelerators when hybrid) carrying the
+    full timing plane. ``max_iterations=None`` runs a complete epoch
+    and additionally asserts epoch-coverage invariants.
+    """
+
+    id: str
+    platform_accels: int | None = None
+    num_trainers: int = 3
+    max_iterations: int | None = None
+    profile_probes: int = 2
+    train_cfg_kwargs: dict = field(default_factory=dict)
+    sys_cfg_kwargs: dict = field(default_factory=dict)
+
+
+#: The matrix every backend runs. The first case is the paper's
+#: flagship stack: hybrid CPU+accelerator split, DRM re-balancing and
+#: int8 PCIe transfer, full epoch, timing plane on.
+CONFORMANCE_CASES: tuple[ConformanceCase, ...] = (
+    ConformanceCase(
+        id="hybrid-drm-int8",
+        platform_accels=2,
+        sys_cfg_kwargs=dict(hybrid=True, drm=True, prefetch=True,
+                            transfer_precision="int8")),
+    ConformanceCase(
+        id="functional-hybrid",
+        platform_accels=None, num_trainers=3,
+        sys_cfg_kwargs=dict(hybrid=True, drm=False, prefetch=True)),
+    ConformanceCase(
+        id="saint-rw-sampler",
+        platform_accels=None, num_trainers=2, max_iterations=3,
+        train_cfg_kwargs=dict(sampler="saint-rw"),
+        sys_cfg_kwargs=dict(hybrid=True, drm=False, prefetch=True)),
+)
+
+
+def candidate_backends() -> list[str]:
+    """Registered backends that must conform to the reference."""
+    return [name for name in available_backends()
+            if name != REFERENCE_BACKEND]
+
+
+def make_session(case: ConformanceCase,
+                 dataset: GraphDataset) -> TrainingSession:
+    """Fresh session for ``case`` (every backend gets its own — the
+    plan/sampler RNG streams are part of what conformance compares)."""
+    train_cfg = TrainingConfig(**{
+        "model": "sage", "minibatch_size": 32, "fanouts": (4, 3),
+        "hidden_dim": 16, "learning_rate": 0.05, "seed": 11,
+        **case.train_cfg_kwargs})
+    sys_cfg = SystemConfig(**case.sys_cfg_kwargs)
+    platform = None if case.platform_accels is None else \
+        hyscale_cpu_fpga_platform(case.platform_accels)
+    return TrainingSession(dataset, train_cfg, sys_cfg, platform,
+                           num_trainers=case.num_trainers,
+                           profile_probes=case.profile_probes)
+
+
+def run_backend(name: str, case: ConformanceCase,
+                dataset: GraphDataset):
+    """Execute ``case`` on backend ``name``; returns (session, report)."""
+    session = make_session(case, dataset)
+    backend = get_backend(name)(session, **BACKEND_KWARGS.get(name, {}))
+    report = backend.run_epoch(case.max_iterations)
+    return session, report
+
+
+def _params(session: TrainingSession) -> list[np.ndarray]:
+    return [t.model.get_flat_params() for t in session.trainers]
+
+
+def assert_backend_conforms(name: str, case: ConformanceCase,
+                            dataset: GraphDataset) -> None:
+    """Assert backend ``name`` matches the virtual reference on ``case``.
+
+    The matrix, all bit-exact (same batches, same gradients, same
+    all-reduce, same optimizer steps — execution strategy must not
+    change the math):
+
+    * iteration count and per-iteration losses / accuracies;
+    * the DRM trajectory (split history) and modelled stage times,
+      when the session carries a timing plane;
+    * total sampled edges (the MTEPS numerator);
+    * final replica parameters, parameter for parameter;
+    * replica consistency as self-reported by the backend (when its
+      report exposes it);
+    * epoch coverage: a full-epoch run takes exactly
+      ``iterations_per_epoch()`` iterations off one plan permutation.
+    """
+    ref_session, ref = run_backend(REFERENCE_BACKEND, case, dataset)
+    cand_session, cand = run_backend(name, case, dataset)
+
+    assert cand.iterations == ref.iterations
+    np.testing.assert_array_equal(ref.losses, cand.losses)
+    np.testing.assert_array_equal(ref.accuracies, cand.accuracies)
+    assert cand.total_edges == ref.total_edges
+
+    if ref_session.has_timing:
+        assert cand.split_history == ref.split_history
+        assert cand.stage_history == ref.stage_history
+        ref_vtime = getattr(ref, "virtual_time_s", None) or \
+            ref.epoch_time_s
+        cand_vtime = getattr(cand, "virtual_time_s", None) or \
+            getattr(cand, "epoch_time_s", 0.0)
+        assert cand_vtime == ref_vtime
+
+    consistent = getattr(cand, "replicas_consistent", None)
+    if consistent is not None:
+        assert consistent, f"{name} reports inconsistent replicas"
+
+    for ref_p, cand_p in zip(_params(ref_session),
+                             _params(cand_session)):
+        np.testing.assert_array_equal(ref_p, cand_p)
+
+    if case.max_iterations is None:
+        assert cand.iterations == \
+            cand_session.iterations_per_epoch()
+        assert cand_session.plan.epochs_started == 1

@@ -1,30 +1,47 @@
-"""Backend equivalence: one runtime core, two execution strategies.
+"""Backend equivalence: one runtime core, N execution strategies.
 
-The refactor's central guarantee: the virtual-time backend and the
-threaded backend execute the *same* :class:`TrainingSession` and
-:class:`BatchPlan`, so for identical seed/config they must produce
-bit-identical per-iteration losses, identical DRM split trajectories,
-and identical final replica parameters — including configurations that
-were previously impossible to express on threads (hybrid CPU+accelerator
+The refactor's central guarantee, now enforced through the reusable
+conformance kit (``backend_conformance.py``): every registered execution
+backend — live threads, worker processes, and any third-party backend
+joining via ``register_backend`` — executes the *same*
+:class:`TrainingSession` and :class:`BatchPlan` as the virtual-time
+reference, so for identical seed/config it must produce bit-identical
+per-iteration losses, identical DRM split trajectories, and identical
+final replica parameters — including configurations that were
+previously impossible off the virtual plane (hybrid CPU+accelerator
 split, DRM re-balancing, quantized PCIe transfer, non-neighbor
 samplers).
 """
 
+import glob
+import os
+
 import numpy as np
 import pytest
 
+from backend_conformance import (
+    CONFORMANCE_CASES,
+    BACKEND_KWARGS,
+    assert_backend_conforms,
+    candidate_backends,
+    run_backend,
+)
 from repro.config import SystemConfig, TrainingConfig
 from repro.errors import ConfigError
-from repro.hw.topology import hyscale_cpu_fpga_platform
 from repro.runtime import (
+    BACKENDS,
     HyScaleGNN,
+    ProcessPoolBackend,
     ThreadedBackend,
     ThreadedExecutor,
     TrainingSession,
     VirtualTimeBackend,
     available_backends,
     get_backend,
+    register_backend,
 )
+
+_CASE_IDS = [c.id for c in CONFORMANCE_CASES]
 
 
 @pytest.fixture()
@@ -38,8 +55,117 @@ def _param_sets(trainers):
     return [t.model.get_flat_params() for t in trainers]
 
 
+class TestBackendConformance:
+    """Every registered backend passes the full parity matrix.
+
+    Parametrized over ``available_backends()`` (minus the virtual
+    reference) — a backend registered before collection inherits this
+    suite without any test changes.
+    """
+
+    @pytest.mark.parametrize("case", CONFORMANCE_CASES, ids=_CASE_IDS)
+    @pytest.mark.parametrize("backend", candidate_backends())
+    def test_backend_matches_virtual_reference(self, backend, case,
+                                               tiny_ds):
+        assert_backend_conforms(backend, case, tiny_ds)
+
+    def test_third_party_backend_inherits_suite(self, tiny_ds):
+        """A backend registered at runtime runs the same matrix — the
+        kit reads the live registry, not a hardcoded pair."""
+
+        @register_backend
+        class MirrorBackend(VirtualTimeBackend):
+            """Trivially conformant: virtual execution under a new name."""
+            name = "mirror"
+
+        try:
+            assert "mirror" in candidate_backends()
+            assert_backend_conforms("mirror", CONFORMANCE_CASES[0],
+                                    tiny_ds)
+        finally:
+            BACKENDS.pop("mirror", None)
+
+
+class TestProcessBackend:
+    """Process-pool specifics the generic matrix cannot see."""
+
+    def test_runs_multiple_worker_processes(self, tiny_ds):
+        session, report = run_backend("process", CONFORMANCE_CASES[0],
+                                      tiny_ds)
+        assert report.num_workers == session.num_trainers
+        assert report.num_workers >= 2
+        assert report.wall_time_s > 0
+
+    def test_clean_shared_memory_teardown(self, tiny_ds, eq_cfg):
+        """No segment survives a run — clean or interrupted."""
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        pattern = "/dev/shm/repro_shm_*"
+        before = set(glob.glob(pattern))
+        session = TrainingSession(
+            tiny_ds, eq_cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True),
+            num_trainers=2)
+        ProcessPoolBackend(session, timeout_s=60).run(2)
+        assert set(glob.glob(pattern)) == before
+
+    def test_teardown_survives_worker_failure(self, tiny_ds, eq_cfg):
+        """A failing run still unlinks its segment (the finally path)."""
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        pattern = "/dev/shm/repro_shm_*"
+        before = set(glob.glob(pattern))
+        session = TrainingSession(
+            tiny_ds, eq_cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True),
+            num_trainers=2)
+        backend = ProcessPoolBackend(session, timeout_s=60)
+        # Sabotage the sampler so the first iteration raises in the
+        # parent after workers and the store are already up.
+        session.sampler.sample = None
+        with pytest.raises(TypeError):
+            backend.run(1)
+        assert set(glob.glob(pattern)) == before
+
+    def test_resumed_session_continues_bit_identically(self, tiny_ds,
+                                                       eq_cfg):
+        """A second run() on an already-trained session must continue
+        from the trained weights (workers sync to the parent's current
+        parameters at startup), matching the virtual plane's
+        continuation — not silently restart from the init seed."""
+        sys_cfg = SystemConfig(hybrid=True, drm=False, prefetch=True)
+
+        sv = TrainingSession(tiny_ds, eq_cfg, sys_cfg, num_trainers=2)
+        vb = VirtualTimeBackend(sv)
+        first_v = vb.run_epoch(max_iterations=2)
+        second_v = vb.run_epoch(max_iterations=2)
+
+        sp = TrainingSession(tiny_ds, eq_cfg, sys_cfg, num_trainers=2)
+        pb = ProcessPoolBackend(sp, timeout_s=60)
+        first_p = pb.run(2)
+        second_p = pb.run(2)
+
+        np.testing.assert_array_equal(first_v.losses, first_p.losses)
+        np.testing.assert_array_equal(second_v.losses, second_p.losses)
+        assert second_p.replicas_consistent
+        for tv, tp in zip(sv.trainers, sp.trainers):
+            np.testing.assert_array_equal(tv.model.get_flat_params(),
+                                          tp.model.get_flat_params())
+
+    def test_invalid_iterations_rejected(self, tiny_ds, eq_cfg):
+        from repro.errors import ProtocolError
+        session = TrainingSession(
+            tiny_ds, eq_cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True),
+            num_trainers=2)
+        with pytest.raises(ProtocolError):
+            ProcessPoolBackend(session).run(0)
+
+
 class TestHybridDRMQuantizedEquivalence:
-    """The flagship case: hybrid + DRM + int8 transfer on threads."""
+    """The flagship case through the *facades* (HyScaleGNN vs
+    ThreadedExecutor) — the public construction paths must preserve
+    the parity the conformance kit proves for raw backends."""
 
     @pytest.fixture()
     def sys_cfg(self):
@@ -106,38 +232,8 @@ class TestHybridDRMQuantizedEquivalence:
         assert run("int8") != run("fp32")
 
 
-class TestFunctionalOnlyEquivalence:
-    """Platform-less sessions: the two backends still agree."""
-
-    def test_same_plan_same_losses(self, tiny_ds, eq_cfg):
-        def session():
-            return TrainingSession(tiny_ds, eq_cfg, SystemConfig(
-                hybrid=True, drm=False, prefetch=True), num_trainers=3)
-
-        rep_v = VirtualTimeBackend(session()).run_epoch()
-        rep_t = ThreadedBackend(session(), timeout_s=30).run_epoch()
-        assert rep_t.iterations == rep_v.iterations
-        np.testing.assert_array_equal(rep_v.losses, rep_t.losses)
-        assert rep_t.replicas_consistent
-
-    def test_pluggable_sampler_equivalent_across_backends(self, tiny_ds,
-                                                          eq_cfg):
-        """A non-neighbor sampler (GraphSAINT random walk) — previously
-        impossible on threads — behaves identically on both backends."""
-        cfg = eq_cfg.with_updates(sampler="saint-rw")
-
-        def session():
-            return TrainingSession(tiny_ds, cfg, SystemConfig(
-                hybrid=True, drm=False, prefetch=True), num_trainers=2)
-
-        rep_v = VirtualTimeBackend(session()).run_epoch(max_iterations=3)
-        rep_t = ThreadedBackend(session(), timeout_s=30).run(3)
-        np.testing.assert_array_equal(rep_v.losses, rep_t.losses)
-        assert rep_t.replicas_consistent
-
-
 class TestEpochSemantics:
-    """Satellite fix: a threaded epoch covers the train set exactly."""
+    """A live-plane epoch covers the train set exactly."""
 
     def test_plan_epoch_partitions_train_set(self, tiny_ds, eq_cfg):
         session = TrainingSession(tiny_ds, eq_cfg, SystemConfig(
@@ -165,6 +261,15 @@ class TestEpochSemantics:
         rep = ex.run(per_epoch + 2)
         assert len(rep.losses) == per_epoch + 2
         assert ex.session.plan.epochs_started == 2
+
+    def test_process_long_runs_roll_into_fresh_epochs(self, tiny_ds,
+                                                      eq_cfg):
+        session = TrainingSession(tiny_ds, eq_cfg, SystemConfig(
+            hybrid=True, drm=False, prefetch=True), num_trainers=2)
+        per_epoch = session.iterations_per_epoch()
+        rep = ProcessPoolBackend(session, timeout_s=60).run(per_epoch + 2)
+        assert len(rep.losses) == per_epoch + 2
+        assert session.plan.epochs_started == 2
 
 
 class TestSessionValidation:
@@ -209,9 +314,10 @@ class TestSamplerRegistry:
 
 class TestBackendRegistry:
     def test_builtin_backends_registered(self):
-        assert available_backends() == ("threaded", "virtual")
+        assert available_backends() == ("process", "threaded", "virtual")
         assert get_backend("virtual") is VirtualTimeBackend
         assert get_backend("threaded") is ThreadedBackend
+        assert get_backend("process") is ProcessPoolBackend
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigError):
@@ -225,3 +331,16 @@ class TestBackendRegistry:
         rep = backend.run_epoch(max_iterations=2)
         assert rep.iterations == 2
         assert all(np.isfinite(l) for l in rep.losses)
+
+    def test_kit_can_construct_every_candidate_backend(self, tiny_ds):
+        """The kit's construction kwargs actually fit each registered
+        backend's constructor — a BACKEND_KWARGS entry going stale (or
+        a new backend needing kwargs without one) fails here, not
+        deep inside a conformance run."""
+        from backend_conformance import CONFORMANCE_CASES, make_session
+        from repro.runtime import ExecutionBackend
+        for name in candidate_backends():
+            session = make_session(CONFORMANCE_CASES[1], tiny_ds)
+            backend = get_backend(name)(
+                session, **BACKEND_KWARGS.get(name, {}))
+            assert isinstance(backend, ExecutionBackend)

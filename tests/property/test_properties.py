@@ -9,6 +9,7 @@ from repro.graph.coo import sort_edges_by_src, source_run_lengths
 from repro.graph.csr import CSRGraph
 from repro.nn.aggregators import SparseAggregator, segment_sum_aggregate
 from repro.nn.loss import softmax_cross_entropy
+from repro.runtime.core import BatchPlan
 from repro.sampling.base import LayerBlock, MiniBatchStats
 from repro.sim.engine import PipelineSimulator
 
@@ -223,6 +224,117 @@ class TestPipelineProperties:
         lower = max(sum(r[k] for r in rows) for k in range(2))
         upper = sum(sum(r) for r in rows)
         assert lower - 1e-9 <= mk <= upper + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# BatchPlan invariants (the quota / permutation-cursor logic every
+# execution backend shares)
+# ---------------------------------------------------------------------------
+
+@st.composite
+def plan_inputs(draw, max_train=200, max_trainers=4, max_quota=50):
+    """(train_ids, quotas, seed): sparse distinct ids, >=1 positive quota."""
+    n = draw(st.integers(1, max_train))
+    start = draw(st.integers(0, 1000))
+    stride = draw(st.integers(1, 5))
+    train_ids = start + stride * np.arange(n, dtype=np.int64)
+    k = draw(st.integers(1, max_trainers))
+    quotas = draw(st.lists(st.integers(0, max_quota), min_size=k,
+                           max_size=k).filter(lambda q: sum(q) > 0))
+    seed = draw(st.integers(0, 10**6))
+    return train_ids, quotas, seed
+
+
+def _materialize_epoch(train_ids, quotas, seed):
+    plan = BatchPlan(train_ids, lambda: quotas,
+                     np.random.default_rng(seed))
+    return list(plan.start_epoch())
+
+
+class TestBatchPlanProperties:
+    @common_settings
+    @given(plan_inputs())
+    def test_epoch_is_exact_permutation_of_train_set(self, data):
+        """Concatenating every assignment reproduces the train set:
+        every id exactly once — no repeats, no gaps."""
+        train_ids, quotas, seed = data
+        chunks = [a for it in _materialize_epoch(train_ids, quotas, seed)
+                  for a in it.assignments if a is not None]
+        flat = np.concatenate(chunks)
+        assert flat.size == train_ids.size
+        np.testing.assert_array_equal(np.sort(flat), train_ids)
+        assert np.unique(flat).size == flat.size
+
+    @common_settings
+    @given(plan_inputs())
+    def test_assignments_respect_per_trainer_quotas(self, data):
+        """Each trainer never receives more than its quota, and every
+        non-tail iteration hands out exactly the quota sum."""
+        train_ids, quotas, seed = data
+        epoch = _materialize_epoch(train_ids, quotas, seed)
+        total = sum(quotas)
+        for it in epoch:
+            assert len(it.assignments) == len(quotas)
+            for size, want in zip(it.batch_sizes, quotas):
+                assert size <= want
+            assert it.total_targets <= total
+        for it in epoch[:-1]:
+            assert it.total_targets == total
+
+    @common_settings
+    @given(plan_inputs())
+    def test_iteration_count_matches_quota_arithmetic(self, data):
+        train_ids, quotas, seed = data
+        epoch = _materialize_epoch(train_ids, quotas, seed)
+        assert len(epoch) == -(-train_ids.size // sum(quotas))
+        assert [it.index for it in epoch] == list(range(len(epoch)))
+
+    @common_settings
+    @given(plan_inputs())
+    def test_deterministic_under_fixed_seed(self, data):
+        """Same seed → bit-identical assignments; this is the
+        cross-backend reproducibility contract."""
+        train_ids, quotas, seed = data
+        a = _materialize_epoch(train_ids, quotas, seed)
+        b = _materialize_epoch(train_ids, quotas, seed)
+        assert len(a) == len(b)
+        for ia, ib in zip(a, b):
+            assert ia.batch_sizes == ib.batch_sizes
+            for xa, xb in zip(ia.assignments, ib.assignments):
+                if xa is None:
+                    assert xb is None
+                else:
+                    np.testing.assert_array_equal(xa, xb)
+
+    @common_settings
+    @given(plan_inputs(), st.integers(1, 30))
+    def test_iterate_yields_exact_count_rolling_epochs(self, data,
+                                                       n_iters):
+        """iterate(N) — the shared epoch-rolling loop of every live
+        backend — yields exactly N sequentially-numbered iterations
+        and starts ceil(N / per_epoch) epoch permutations."""
+        train_ids, quotas, seed = data
+        plan = BatchPlan(train_ids, lambda: quotas,
+                         np.random.default_rng(seed))
+        out = list(plan.iterate(n_iters))
+        assert [i for i, _ in out] == list(range(n_iters))
+        per_epoch = -(-train_ids.size // sum(quotas))
+        assert plan.epochs_started == -(-n_iters // per_epoch)
+
+    @common_settings
+    @given(plan_inputs(), st.integers(1, 4))
+    def test_epochs_draw_independent_permutations(self, data, epochs):
+        """Each epoch re-covers the train set exactly, advancing the
+        shared RNG stream (epochs_started counts them)."""
+        train_ids, quotas, seed = data
+        plan = BatchPlan(train_ids, lambda: quotas,
+                         np.random.default_rng(seed))
+        for _ in range(epochs):
+            flat = np.concatenate(
+                [a for it in plan.start_epoch()
+                 for a in it.assignments if a is not None])
+            np.testing.assert_array_equal(np.sort(flat), train_ids)
+        assert plan.epochs_started == epochs
 
 
 # ---------------------------------------------------------------------------

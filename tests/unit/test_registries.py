@@ -1,0 +1,71 @@
+"""Registry error paths: every lookup failure names the alternatives.
+
+The three registries (execution backends, samplers-by-config, sampler
+builders) are the library's extension seams; a misspelled key must fail
+eagerly with a message that lists what *is* registered, so the fix is
+in the traceback.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+import repro.sampling as sampling
+from repro.runtime import (
+    BACKENDS,
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+
+class TestBackendRegistryErrors:
+    def test_register_backend_empty_name_rejected(self):
+        class Nameless(ExecutionBackend):
+            name = ""
+
+            def run_epoch(self, max_iterations=None):
+                raise NotImplementedError
+
+        with pytest.raises(ConfigError) as exc:
+            register_backend(Nameless)
+        msg = str(exc.value)
+        for registered in available_backends():
+            assert registered in msg
+        assert "" not in BACKENDS   # nothing was registered
+
+    def test_register_backend_missing_name_attr_rejected(self):
+        with pytest.raises(ConfigError):
+            register_backend(object)
+
+    def test_get_backend_unknown_key_lists_registered(self):
+        with pytest.raises(ConfigError) as exc:
+            get_backend("warp-drive")
+        msg = str(exc.value)
+        assert "warp-drive" in msg
+        for registered in ("process", "threaded", "virtual"):
+            assert registered in msg
+
+
+class TestSamplerRegistryErrors:
+    def test_get_unknown_sampler_lists_registered(self):
+        with pytest.raises(ConfigError) as exc:
+            sampling.get("ladies")
+        msg = str(exc.value)
+        assert "ladies" in msg
+        for registered in ("neighbor", "saint-rw", "full"):
+            assert registered in msg
+
+    def test_build_sampler_unknown_name_uses_same_error(self, tiny_ds,
+                                                        small_cfg):
+        with pytest.raises(ConfigError) as exc:
+            sampling.build_sampler("ladies", tiny_ds.graph,
+                                   tiny_ds.train_ids, small_cfg,
+                                   tiny_ds.spec.feature_dim)
+        assert "neighbor" in str(exc.value)
+
+    def test_get_known_sampler_returns_builder(self, tiny_ds, small_cfg):
+        builder = sampling.get("neighbor")
+        sampler = builder(tiny_ds.graph, tiny_ds.train_ids, small_cfg,
+                          tiny_ds.spec.feature_dim)
+        assert isinstance(sampler, sampling.NeighborSampler)

@@ -2,6 +2,7 @@
 prefetch buffer, and the DRM engine."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -256,6 +257,91 @@ class TestPrefetchBuffer:
     def test_invalid_depth(self):
         with pytest.raises(ProtocolError):
             PrefetchBuffer(0)
+
+
+class TestPrefetchBufferEdgeCases:
+    def test_get_times_out_on_empty_buffer(self):
+        buf = PrefetchBuffer(2)
+        with pytest.raises(ProtocolError, match="get timed out"):
+            buf.get(timeout=0.05)
+
+    def test_put_times_out_on_full_buffer(self):
+        buf = PrefetchBuffer(1)
+        buf.put("a")
+        with pytest.raises(ProtocolError, match="put timed out"):
+            buf.put("b", timeout=0.05)
+        # The timed-out put must not have corrupted occupancy.
+        assert buf.occupancy == 1
+        assert buf.get() == "a"
+
+    def test_put_after_close_rejected_even_when_space_free(self):
+        buf = PrefetchBuffer(4)
+        buf.close()
+        with pytest.raises(ProtocolError, match="closed"):
+            buf.put("x")
+        assert buf.occupancy == 0
+        assert buf.total_puts == 0
+
+    def test_put_blocked_on_full_buffer_unblocks_on_close(self):
+        """close() must wake a producer stuck in put() — the error path
+        the threaded backend relies on for fast shutdown."""
+        buf = PrefetchBuffer(1)
+        buf.put("a")
+        errors = []
+
+        def producer():
+            try:
+                buf.put("b", timeout=5)
+            except ProtocolError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.05)
+        buf.close()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert len(errors) == 1 and "closed" in str(errors[0])
+
+    def test_occupancy_accounting_under_concurrent_producers(self):
+        """N producers racing one consumer: occupancy never exceeds
+        depth, high_water is sane, and total_puts counts every item."""
+        depth, producers, per_producer = 3, 4, 25
+        buf = PrefetchBuffer(depth)
+        got = []
+        occupancy_samples = []
+
+        def producer(tag):
+            for i in range(per_producer):
+                buf.put((tag, i), timeout=5)
+                occupancy_samples.append(buf.occupancy)
+
+        def consumer():
+            while True:
+                item = buf.get(timeout=5)
+                if item is None:
+                    return
+                got.append(item)
+
+        consume = threading.Thread(target=consumer)
+        consume.start()
+        threads = [threading.Thread(target=producer, args=(p,))
+                   for p in range(producers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        buf.close()
+        consume.join(timeout=10)
+
+        total = producers * per_producer
+        assert buf.total_puts == total
+        assert len(got) == total
+        assert sorted(got) == sorted((p, i) for p in range(producers)
+                                     for i in range(per_producer))
+        assert 1 <= buf.high_water <= depth
+        assert all(0 <= o <= depth for o in occupancy_samples)
+        assert buf.occupancy == 0
 
 
 # ---------------------------------------------------------------------------

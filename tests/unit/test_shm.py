@@ -1,0 +1,133 @@
+"""SharedFeatureStore: layout, attach parity, and lifetime/cleanup.
+
+The store backs the process-pool backend: the dataset's features,
+labels, and CSR topology live once in a single shared-memory segment
+that worker processes map zero-copy. These tests pin the manifest
+round trip, array bit-parity, and — most importantly — the cleanup
+contract (owner unlinks exactly once, no segment survives)."""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.runtime.shm import SharedFeatureStore
+
+
+def _segment_paths():
+    return set(glob.glob("/dev/shm/" + SharedFeatureStore.NAME_PREFIX
+                         + "*"))
+
+
+@pytest.fixture()
+def store(tiny_ds):
+    s = SharedFeatureStore.create(tiny_ds)
+    yield s
+    s.close()
+    try:
+        s.unlink()
+    except Exception:
+        pass
+
+
+class TestLayout:
+    def test_shared_arrays_bit_equal_source(self, tiny_ds, store):
+        np.testing.assert_array_equal(store.features, tiny_ds.features)
+        np.testing.assert_array_equal(store.labels, tiny_ds.labels)
+        np.testing.assert_array_equal(store.indptr,
+                                      tiny_ds.graph.indptr)
+        np.testing.assert_array_equal(store.indices,
+                                      tiny_ds.graph.indices)
+
+    def test_dtypes_preserved(self, tiny_ds, store):
+        assert store.features.dtype == tiny_ds.features.dtype
+        assert store.labels.dtype == tiny_ds.labels.dtype
+        assert store.indptr.dtype == np.int64
+
+    def test_degrees_match_graph(self, tiny_ds, store):
+        np.testing.assert_array_equal(store.degrees,
+                                      tiny_ds.graph.out_degrees)
+
+    def test_offsets_aligned_and_disjoint(self, store):
+        specs = store.manifest.arrays
+        end = 0
+        for spec in specs:
+            assert spec.offset % 64 == 0
+            assert spec.offset >= end
+            end = spec.offset + spec.nbytes
+        assert store.nbytes == end
+
+
+class TestAttach:
+    def test_attach_sees_same_bits(self, tiny_ds, store):
+        attached = SharedFeatureStore.attach(store.manifest)
+        try:
+            np.testing.assert_array_equal(attached.features,
+                                          tiny_ds.features)
+            np.testing.assert_array_equal(attached.degrees,
+                                          tiny_ds.graph.out_degrees)
+            assert not attached.owner
+        finally:
+            attached.close()
+
+    def test_attached_store_may_not_unlink(self, store):
+        attached = SharedFeatureStore.attach(store.manifest)
+        try:
+            with pytest.raises(ProtocolError):
+                attached.unlink()
+        finally:
+            attached.close()
+
+    def test_manifest_is_picklable(self, store):
+        import pickle
+        manifest = pickle.loads(pickle.dumps(store.manifest))
+        assert manifest == store.manifest
+
+
+class TestLifetime:
+    @pytest.fixture(autouse=True)
+    def _needs_dev_shm(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+
+    def test_create_then_unlink_leaves_no_segment(self, tiny_ds):
+        before = _segment_paths()
+        s = SharedFeatureStore.create(tiny_ds)
+        assert len(_segment_paths()) == len(before) + 1
+        s.close()
+        s.unlink()
+        assert _segment_paths() == before
+
+    def test_context_manager_owner_unlinks(self, tiny_ds):
+        before = _segment_paths()
+        with SharedFeatureStore.create(tiny_ds) as s:
+            assert s.owner
+            assert len(_segment_paths()) == len(before) + 1
+        assert _segment_paths() == before
+
+    def test_unlink_is_idempotent(self, tiny_ds):
+        s = SharedFeatureStore.create(tiny_ds)
+        s.close()
+        s.unlink()
+        s.unlink()   # second unlink must not raise
+
+    def test_close_invalidates_views(self, tiny_ds):
+        s = SharedFeatureStore.create(tiny_ds)
+        s.close()
+        with pytest.raises(ProtocolError):
+            s.features
+        s.unlink()
+
+    def test_gc_finalizer_unlinks_leaked_owner(self, tiny_ds):
+        """Dropping the last reference without close/unlink must still
+        destroy the segment (the last-resort guard)."""
+        import gc
+        before = _segment_paths()
+        s = SharedFeatureStore.create(tiny_ds)
+        name = s.manifest.segment
+        del s
+        gc.collect()
+        assert _segment_paths() == before
+        assert not os.path.exists("/dev/shm/" + name)
