@@ -59,9 +59,10 @@ def _smoke(backend: str) -> None:
     """Quick ablation pass on one dataset — the CI backend smoke.
 
     The virtual backend sweeps a shortened timing simulation; live
-    backends (threaded, process) run the same four preset sessions
-    functionally — threads behind the GIL, worker processes over the
-    shared-memory feature store (a scaled-down config keeps either
+    backends (threaded, process, pipelined) run the same four preset
+    sessions functionally — threads behind the GIL, worker processes
+    over the shared-memory feature store, or the overlapped
+    producer/consumer pipeline (a scaled-down config keeps each
     within seconds).
     """
     overrides = dict(minibatch_size=128, fanouts=(5, 5), hidden_dim=32)
@@ -80,7 +81,8 @@ if __name__ == "__main__":
         description="Fig. 11 ablation smoke (see pytest for the full "
                     "figure reproduction)")
     parser.add_argument("--backend",
-                        choices=("virtual", "threaded", "process"),
+                        choices=("virtual", "threaded", "process",
+                                 "pipelined"),
                         default="virtual",
                         help="execution backend the presets run on")
     parser.add_argument("--smoke", action="store_true",

@@ -9,8 +9,11 @@ products+GCN configuration scaling worst.
 Run as a script for the *wall-clock* variant: ``--backend process``
 sweeps live trainer replicas (one worker process each, shared-memory
 feature store — GIL-free) and reports measured speedup;
-``--backend threaded`` gives the GIL-bound reference curve and
-``--backend virtual`` prints the paper's perf-model projection.
+``--backend pipelined`` runs the overlapped producer/consumer pipeline
+and adds the per-stage overlap report (adaptive look-ahead range,
+buffer high-water / occupancy per stage); ``--backend threaded`` gives
+the GIL-bound reference curve and ``--backend virtual`` prints the
+paper's perf-model projection.
 """
 
 import functools
@@ -70,11 +73,13 @@ if __name__ == "__main__":
                     "figure; script mode sweeps live backends on "
                     "wall-clock time)")
     parser.add_argument("--backend",
-                        choices=("virtual", "threaded", "process"),
+                        choices=("virtual", "threaded", "process",
+                                 "pipelined"),
                         default="virtual",
                         help="'virtual' prints the perf-model "
                              "projection; live backends measure "
-                             "wall time")
+                             "wall time ('pipelined' adds the "
+                             "per-stage overlap report)")
     parser.add_argument("--trainers", type=int, nargs="+",
                         default=(1, 2, 4),
                         help="trainer replica counts for live sweeps")

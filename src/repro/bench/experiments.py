@@ -232,10 +232,14 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
     each replica is a worker process gathering features from the
     shared-memory store, so — unlike ``"threaded"``, whose NumPy work
     serializes behind the GIL — that speedup is actually reachable
-    (given the cores to show it).
+    (given the cores to show it). The ``"pipelined"`` backend overlaps
+    the producer stages with training instead; its rows carry the
+    per-stage overlap report (adaptive look-ahead range plus buffer
+    high-water / mean occupancy per stage) in the ``overlap`` column.
 
     Requires a live backend exposing ``run(iterations)`` and a
-    ``wall_time_s`` report field (``"threaded"``, ``"process"``).
+    ``wall_time_s`` report field (``"threaded"``, ``"process"``,
+    ``"pipelined"``).
     """
     from ..config import SystemConfig
     from ..errors import ConfigError
@@ -250,7 +254,7 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
               f"({dataset_name}, {backend} backend, "
               f"{iterations} iterations/point)",
         columns=["model", "trainers", "wall time (s)",
-                 f"speedup vs {anchor}", "mean loss"])
+                 f"speedup vs {anchor}", "mean loss", "overlap"])
     total_targets = overrides["minibatch_size"]
     for model in MODELS:
         base_time = None
@@ -273,12 +277,17 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
             rep = live.run(iterations)
             if base_time is None:
                 base_time = rep.wall_time_s
+            overlap = getattr(rep, "overlap_summary", None)
             res.add_row(model, n, rep.wall_time_s,
                         base_time / max(rep.wall_time_s, 1e-12),
-                        float(np.mean(rep.losses)))
+                        float(np.mean(rep.losses)),
+                        overlap() if overlap is not None else "-")
     res.notes.append(
         "process backend = one worker process per trainer over the "
-        "shared-memory feature store; threaded = GIL-bound reference")
+        "shared-memory feature store; threaded = GIL-bound reference; "
+        "pipelined = overlapped sample/gather/transfer stage threads "
+        "(overlap column: adaptive depth range | per-stage items, "
+        "buffer high-water, mean occupancy)")
     return res
 
 

@@ -22,14 +22,20 @@ This package is the paper's primary contribution (§III-§IV):
   :class:`ExecutionBackend` subclass: ``get_backend("virtual")`` returns
   :class:`VirtualTimeBackend` (sequential, modelled-hardware time —
   the paper-figure plane), ``get_backend("threaded")`` returns
-  :class:`ThreadedBackend` (live threads, Listing-1 handshakes), and
+  :class:`ThreadedBackend` (live threads, Listing-1 handshakes),
   ``get_backend("process")`` returns :class:`ProcessPoolBackend`
   (worker processes over a shared-memory feature store — GIL-free
-  NumPy training). All execute the *same* plan and session, so hybrid
+  NumPy training), and ``get_backend("pipelined")`` returns
+  :class:`PipelinedBackend` (overlapped per-trainer
+  sample → gather → transfer stage threads with an adaptive,
+  perf-model-driven look-ahead — the paper's §IV-B prefetch made
+  live). All execute the *same* plan and session, so hybrid
   split, DRM, prefetch and transfer quantization behave identically on
-  each; new executors (async pipeline, multi-node) join via
+  each; new executors (worker-side sampling, multi-node) join via
   :func:`register_backend` without touching the core and inherit the
-  conformance suite (``tests/integration/backend_conformance.py``);
+  tiered conformance suite
+  (``tests/integration/backend_conformance.py``) at the tier their
+  ``conformance_tier`` capability flag declares;
 * :mod:`repro.runtime.shm` — :class:`SharedFeatureStore`, the
   single-segment shared-memory mapping of the dataset's features,
   labels and CSR topology that process workers gather from zero-copy;
@@ -49,6 +55,7 @@ from .shm import SharedFeatureStore, SharedStoreManifest
 from .backends import (
     BACKENDS,
     ExecutionBackend,
+    PipelinedBackend,
     ProcessPoolBackend,
     ThreadedBackend,
     VirtualTimeBackend,
@@ -59,6 +66,8 @@ from .backends import (
 from .backends.threaded import ExecutorReport
 from .backends.virtual import EpochReport
 from .backends.process_pool import ProcessReport
+from .backends.pipelined import PipelinedReport, StageStats, \
+    adaptive_depth
 from .hybrid import HyScaleGNN
 from .executor import ThreadedExecutor
 
@@ -80,7 +89,11 @@ __all__ = [
     "VirtualTimeBackend",
     "ThreadedBackend",
     "ProcessPoolBackend",
+    "PipelinedBackend",
     "ProcessReport",
+    "PipelinedReport",
+    "StageStats",
+    "adaptive_depth",
     "SharedFeatureStore",
     "SharedStoreManifest",
     "BACKENDS",

@@ -2,7 +2,7 @@
 
 A backend realizes the training protocol of a
 :class:`~repro.runtime.core.TrainingSession` on a concrete execution
-substrate. Three ship with the library:
+substrate. Four ship with the library:
 
 * ``"virtual"`` — :class:`VirtualTimeBackend`: sequential execution with
   modelled-hardware (virtual-time) accounting; the paper-figure plane.
@@ -12,15 +12,24 @@ substrate. Three ship with the library:
   trainer replica over a shared-memory feature store
   (:class:`~repro.runtime.shm.SharedFeatureStore`) — GIL-free NumPy
   training, DistDGL-style.
+* ``"pipelined"`` — :class:`PipelinedBackend`: per-trainer
+  sample → gather → transfer stage threads over backpressured
+  :class:`~repro.runtime.prefetch.PrefetchBuffer` queues feeding the
+  train stage, with an adaptive look-ahead driven by the performance
+  model — the paper's §IV-B overlap made live.
 
 All consume the same :class:`~repro.runtime.core.BatchPlan` and session,
 so every feature flag — hybrid CPU+accelerator split, DRM, two-stage
 prefetch, transfer quantization, pluggable samplers — behaves identically
 on each; ``tests/integration/backend_conformance.py`` holds every
-registered backend (third-party ones included) to bit-identical parity
-with the virtual reference. Future executors (async prefetch pipeline,
-multi-node sharding) plug in through :func:`register_backend` and
-inherit that suite for free.
+registered backend (third-party ones included) to the conformance tier
+its :attr:`~ExecutionBackend.conformance_tier` flag declares: ``strict``
+backends must match the virtual reference bit for bit, ``statistical``
+backends (the pipelined plane, whose stages overlap out of lock-step)
+must preserve exact epoch coverage, work conservation and loss/parameter
+closeness. Future executors (worker-side sampling, multi-node sharding)
+plug in through :func:`register_backend` and inherit the right tier for
+free.
 """
 
 from __future__ import annotations
@@ -30,6 +39,12 @@ from .base import ExecutionBackend
 from .virtual import EpochReport, VirtualTimeBackend
 from .threaded import ExecutorReport, ThreadedBackend
 from .process_pool import ProcessPoolBackend, ProcessReport
+from .pipelined import (
+    PipelinedBackend,
+    PipelinedReport,
+    StageStats,
+    adaptive_depth,
+)
 
 #: name -> backend class. Mutated only through :func:`register_backend`.
 BACKENDS: dict[str, type[ExecutionBackend]] = {}
@@ -67,15 +82,20 @@ def available_backends() -> tuple[str, ...]:
 register_backend(VirtualTimeBackend)
 register_backend(ThreadedBackend)
 register_backend(ProcessPoolBackend)
+register_backend(PipelinedBackend)
 
 __all__ = [
     "ExecutionBackend",
     "VirtualTimeBackend",
     "ThreadedBackend",
     "ProcessPoolBackend",
+    "PipelinedBackend",
     "EpochReport",
     "ExecutorReport",
     "ProcessReport",
+    "PipelinedReport",
+    "StageStats",
+    "adaptive_depth",
     "BACKENDS",
     "register_backend",
     "get_backend",

@@ -20,7 +20,23 @@ Contract every backend must honor (so results are backend-independent):
   weights, after which *every* optimizer steps (idle trainers receive
   the averaged gradients too, keeping replicas consistent);
 * DRM (when enabled) sees iteration ``i``'s realized stage times before
-  iteration ``i + 1``'s quotas are read.
+  iteration ``i + 1``'s quotas are read — **unless** the backend
+  declares the ``statistical`` conformance tier, which relaxes exactly
+  this clause (and therefore bit-parity) in exchange for overlap.
+
+Each backend declares which tier of the conformance kit it targets via
+:attr:`ExecutionBackend.conformance_tier`:
+
+* ``"strict"`` — lock-step execution, held to **bit-identical** parity
+  with the virtual reference (losses, DRM trajectory, parameters);
+* ``"statistical"`` — stages overlap and stochastic draws may interleave
+  across stage threads, so the kit instead asserts exact epoch coverage,
+  work conservation, DRM-trajectory shape, and tolerance-based loss /
+  parameter closeness.
+
+The kit (``tests/integration/backend_conformance.py``) reads the flag
+off the registered class, so third-party backends opt into the right
+matrix by setting one class attribute.
 """
 
 from __future__ import annotations
@@ -42,6 +58,12 @@ class ExecutionBackend(abc.ABC):
 
     #: Registry key; subclasses override.
     name: ClassVar[str] = ""
+
+    #: Which conformance tier this backend targets: ``"strict"``
+    #: (bit-identical to the virtual reference — the default) or
+    #: ``"statistical"`` (overlapped execution; the kit asserts
+    #: coverage, conservation and closeness instead of bit-parity).
+    conformance_tier: ClassVar[str] = "strict"
 
     def __init__(self, session: TrainingSession) -> None:
         self.session = session

@@ -359,11 +359,11 @@ class ProcessPoolBackend(ExecutionBackend):
         report.losses.append(float(np.mean(losses)))
         report.accuracies.append(float(np.mean(accs)))
         if s.has_timing:
-            times = s.stage_times(stats_cpu, stats_accel)
-            rows.append(s.duration_row(times))
+            times, row, split = s.timing_step(stats_cpu, stats_accel,
+                                              it)
+            rows.append(row)
             report.stage_history.append(times)
-            report.split_history.append(s.split)
-            s.drm_step(times, it)
+            report.split_history.append(split)
 
     # ------------------------------------------------------------------
     def _send(self, conns, idx: int, msg) -> None:

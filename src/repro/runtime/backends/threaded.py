@@ -164,11 +164,11 @@ class ThreadedBackend(ExecutionBackend):
                                  timeout=self.timeout_s)
             report.total_edges += edges_iter
             if s.has_timing:
-                times = s.stage_times(stats_cpu, stats_accel)
-                rows.append(s.duration_row(times))
+                times, row, split = s.timing_step(stats_cpu,
+                                                  stats_accel, it)
+                rows.append(row)
                 report.stage_history.append(times)
-                report.split_history.append(s.split)
-                s.drm_step(times, it)
+                report.split_history.append(split)
 
         def producer() -> None:
             try:

@@ -124,19 +124,18 @@ class VirtualTimeBackend(ExecutionBackend):
                     s.trainers[idx].model.zero_grad()
                     s.synchronizer.signal_done(
                         s.trainers[idx].name, iteration)
-            s.synchronizer.all_reduce(batch_sizes, iteration)
-            for opt in s.optimizers:
-                opt.step()
+            s.reduce_and_step(batch_sizes, iteration)
 
             report.losses.append(float(np.mean(losses_iter)))
             report.accuracies.append(float(np.mean(accs_iter)))
             report.total_edges += edges_iter
             if s.has_timing:
-                times = s.stage_times(stats_cpu, stats_accel)
-                rows.append(s.duration_row(times))
+                times, row, split = s.timing_step(stats_cpu,
+                                                  stats_accel,
+                                                  iteration)
+                rows.append(row)
                 report.stage_history.append(times)
-                report.split_history.append(s.split)
-                s.drm_step(times, iteration)
+                report.split_history.append(split)
 
             iteration += 1
             if max_iterations is not None and iteration >= max_iterations:
@@ -227,11 +226,11 @@ class VirtualTimeBackend(ExecutionBackend):
                     report.total_edges += st.total_edges
             remaining -= take_total
 
-            times = s.stage_times(stats_cpu, stats_accel)
-            rows.append(s.duration_row(times))
+            times, row, split = s.timing_step(stats_cpu, stats_accel,
+                                              it)
+            rows.append(row)
             report.stage_history.append(times)
-            report.split_history.append(s.split)
-            s.drm_step(times, it)
+            report.split_history.append(split)
             it += 1
 
         report.iterations = it

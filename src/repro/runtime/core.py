@@ -29,6 +29,7 @@ without one (``platform=None``) is functional-only — the historical
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -62,31 +63,51 @@ from .trainer import TrainerNode
 PIPELINE_STAGES = ("sample", "load", "transfer", "propagate")
 
 
-def gather_batch_features(features: np.ndarray, mb: MiniBatch,
-                          trainer_kind: str,
-                          transfer_precision: str) -> np.ndarray:
-    """Gather one mini-batch's input features, ready for a trainer.
+def gather_feature_rows(features: np.ndarray,
+                        mb: MiniBatch) -> np.ndarray:
+    """The feature-gather (load) stage: one host-memory row gather.
 
     Exactly one row gather; the float64 conversion only copies when the
     source stores a narrower dtype (fancy indexing already yields a
     fresh C-contiguous array, so ``ascontiguousarray`` is a no-op
-    check, not a copy). Accelerator-bound batches additionally pay the
-    transfer-quantization round trip (paper §VIII extension); the CPU
-    trainer reads host memory at full precision.
-
-    Pure function of ``(features, batch, kind, precision)`` so every
-    execution substrate — the in-process backends via
-    :meth:`TrainingSession.load_features`, process-pool workers against
-    their shared-memory mapping — runs the identical bits.
+    check, not a copy). Pure — safe to run concurrently from pipeline
+    stage threads.
     """
     x0 = features[mb.input_nodes]
     if x0.dtype != np.float64:
         x0 = x0.astype(np.float64)
     else:
         x0 = np.ascontiguousarray(x0)
-    if trainer_kind == "accel" and transfer_precision != "fp32":
-        x0 = quantize_dequantize(x0, transfer_precision)
     return x0
+
+
+def apply_transfer_policy(x0: np.ndarray, trainer_kind: str,
+                          transfer_precision: str) -> np.ndarray:
+    """The transfer stage: the PCIe link's quantization policy.
+
+    Accelerator-bound batches pay the transfer-quantization round trip
+    (paper §VIII extension); the CPU trainer reads host memory at full
+    precision, so the stage is the identity for it.
+    """
+    if trainer_kind == "accel" and transfer_precision != "fp32":
+        return quantize_dequantize(x0, transfer_precision)
+    return x0
+
+
+def gather_batch_features(features: np.ndarray, mb: MiniBatch,
+                          trainer_kind: str,
+                          transfer_precision: str) -> np.ndarray:
+    """Gather one mini-batch's input features, ready for a trainer.
+
+    The fused load + transfer path: pure function of
+    ``(features, batch, kind, precision)`` so every execution
+    substrate — the in-process backends via
+    :meth:`TrainingSession.load_features`, process-pool workers against
+    their shared-memory mapping, the pipelined backend's separate
+    gather/transfer stage threads — runs the identical bits.
+    """
+    return apply_transfer_policy(gather_feature_rows(features, mb),
+                                 trainer_kind, transfer_precision)
 
 
 # ---------------------------------------------------------------------------
@@ -323,6 +344,10 @@ class TrainingSession:
         self.rng = np.random.default_rng(train_cfg.seed + 2)
         self.plan = BatchPlan(dataset.train_ids,
                               self.split_target_counts, self.rng)
+        # Serializes sampler access for backends whose stage threads
+        # sample concurrently (samplers hold a single RNG stream that
+        # is not thread-safe). Single-threaded backends never contend.
+        self._sampler_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -403,8 +428,33 @@ class TrainingSession:
         return -(-int(self.dataset.train_ids.size) // total)
 
     # ------------------------------------------------------------------
-    # Feature loading (shared hot path)
+    # Pipeline-stage hooks (shared hot path)
+    #
+    # One method per Fig.-5 producer stage, so an overlapped backend can
+    # run sample / load / transfer on separate stage threads while
+    # executing the exact same bits as the sequential planes (which call
+    # the fused ``load_features``).
     # ------------------------------------------------------------------
+    def sample_stage(self, targets: np.ndarray) -> MiniBatch:
+        """Sample one mini-batch (thread-safe).
+
+        The sampler's RNG stream is shared; the lock makes each draw
+        atomic so concurrent stage threads interleave whole batches,
+        never corrupt the stream.
+        """
+        with self._sampler_lock:
+            return self.sampler.sample(targets)
+
+    def gather_stage(self, mb: MiniBatch) -> np.ndarray:
+        """Feature-gather (load) stage: host-DDR row gather, fp32/64."""
+        return gather_feature_rows(self.dataset.features, mb)
+
+    def transfer_stage(self, x0: np.ndarray,
+                       trainer_kind: str) -> np.ndarray:
+        """Transfer stage: the PCIe quantization policy for this link."""
+        return apply_transfer_policy(x0, trainer_kind,
+                                     self.sys_cfg.transfer_precision)
+
     def load_features(self, mb: MiniBatch, trainer_kind: str) -> np.ndarray:
         """Gather one mini-batch's input features, ready for the trainer.
 
@@ -419,6 +469,17 @@ class TrainingSession:
 
     def labels_for(self, mb: MiniBatch) -> np.ndarray:
         return self.dataset.labels[mb.targets]
+
+    def reduce_and_step(self, batch_sizes: list[int],
+                        iteration: int | None = None) -> np.ndarray:
+        """Synchronize one iteration: all-reduce then step every
+        optimizer (idle trainers receive the averaged gradients too,
+        keeping replicas consistent). Returns the averaged flat
+        gradient, exactly as :class:`GradientSynchronizer` does."""
+        avg = self.synchronizer.all_reduce(list(batch_sizes), iteration)
+        for opt in self.optimizers:
+            opt.step()
+        return avg
 
     # ------------------------------------------------------------------
     # Timing plane helpers (platform sessions)
@@ -469,6 +530,26 @@ class TrainingSession:
         """One Algorithm-1 adjustment; affects the next planned iteration."""
         if self.drm is not None:
             self.split = self.drm.adjust(self.split, times, iteration)
+
+    def timing_step(self, stats_cpu: MiniBatchStats | None,
+                    stats_accel: list[MiniBatchStats | None],
+                    iteration: int
+                    ) -> tuple[StageTimes, list[float], WorkloadSplit]:
+        """One timing-plane step over realized batch statistics.
+
+        Returns ``(times, duration_row, split)`` where ``split`` is the
+        workload split that was *in effect* for this iteration (captured
+        before the DRM adjustment mutates it), then applies the
+        Algorithm-1 adjustment. Every backend records its stage/split
+        history through this single hook, so the bookkeeping order —
+        stage times from iteration ``i``'s stats, split snapshot, *then*
+        DRM — can never drift between execution planes.
+        """
+        times = self.stage_times(stats_cpu, stats_accel)
+        row = self.duration_row(times)
+        split = self.split
+        self.drm_step(times, iteration)
+        return times, row, split
 
     def make_pipeline(self) -> PipelineSimulator:
         depth = self.sys_cfg.prefetch_depth if self.sys_cfg.prefetch \

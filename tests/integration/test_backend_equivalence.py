@@ -15,6 +15,7 @@ samplers).
 
 import glob
 import os
+import threading
 
 import numpy as np
 import pytest
@@ -31,6 +32,7 @@ from repro.errors import ConfigError
 from repro.runtime import (
     BACKENDS,
     HyScaleGNN,
+    PipelinedBackend,
     ProcessPoolBackend,
     ThreadedBackend,
     ThreadedExecutor,
@@ -160,6 +162,124 @@ class TestProcessBackend:
             num_trainers=2)
         with pytest.raises(ProtocolError):
             ProcessPoolBackend(session).run(0)
+
+
+class TestPipelinedBackend:
+    """Pipelined-plane specifics the generic tiered matrix cannot see."""
+
+    def test_single_trainer_matches_virtual_bit_for_bit(self, tiny_ds,
+                                                        eq_cfg):
+        """With one trainer there is a single sample-stage thread, so
+        the sampler stream is consumed in plan order and overlap cannot
+        reorder any stochastic draw: the pipelined plane must be
+        bit-identical to the virtual reference — losses, accuracies,
+        and every final parameter."""
+        sys_cfg = SystemConfig(hybrid=True, drm=False, prefetch=True)
+
+        sv = TrainingSession(tiny_ds, eq_cfg, sys_cfg, num_trainers=1)
+        rep_v = VirtualTimeBackend(sv).run_epoch()
+
+        sp = TrainingSession(tiny_ds, eq_cfg, sys_cfg, num_trainers=1)
+        rep_p = PipelinedBackend(sp, timeout_s=30).run_epoch()
+
+        assert rep_p.iterations == rep_v.iterations
+        np.testing.assert_array_equal(rep_v.losses, rep_p.losses)
+        np.testing.assert_array_equal(rep_v.accuracies,
+                                      rep_p.accuracies)
+        assert rep_p.total_edges == rep_v.total_edges
+        for tv, tp in zip(sv.trainers, sp.trainers):
+            np.testing.assert_array_equal(tv.model.get_flat_params(),
+                                          tp.model.get_flat_params())
+
+    def test_full_epoch_covers_train_set_exactly(self, tiny_ds, eq_cfg):
+        """Overlap may run ahead, but never loses or duplicates work:
+        one epoch's trained targets are exactly the train set."""
+        session = TrainingSession(
+            tiny_ds, eq_cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True),
+            num_trainers=3)
+        rep = PipelinedBackend(session, timeout_s=30).run_epoch()
+        flat = np.concatenate(rep.trained_targets)
+        assert np.unique(flat).size == flat.size
+        np.testing.assert_array_equal(np.sort(flat),
+                                      tiny_ds.train_ids)
+        assert session.plan.epochs_started == 1
+
+    def test_overlap_report_covers_every_stage(self, tiny_ds, eq_cfg,
+                                               fpga_platform):
+        """The per-stage overlap report accounts for every item that
+        flowed through every stage of every trainer's pipeline."""
+        sys_cfg = SystemConfig(hybrid=True, drm=True, prefetch=True,
+                               transfer_precision="int8")
+        session = TrainingSession(tiny_ds, eq_cfg, sys_cfg,
+                                  fpga_platform, profile_probes=2)
+        rep = PipelinedBackend(session, timeout_s=30).run_epoch()
+        n = session.num_trainers
+        assert set(rep.stage_stats) == {"sample", "gather", "transfer",
+                                        "train"}
+        for stats in rep.stage_stats.values():
+            # Every iteration hands one item per trainer through each
+            # stage (idle trainers get a pass-through marker).
+            assert stats.items == rep.iterations * n
+            assert stats.high_water >= 1
+            assert stats.mean_occupancy >= 0.0
+        assert rep.prefetch_high_water >= 1
+        assert rep.wall_time_s > 0
+        assert "depth=" in rep.overlap_summary()
+
+    def test_pipeline_error_propagates_and_joins_threads(self, tiny_ds,
+                                                         eq_cfg):
+        """A stage-thread failure surfaces as the original exception in
+        the caller, and no stage thread outlives the run."""
+        session = TrainingSession(
+            tiny_ds, eq_cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True),
+            num_trainers=2)
+        backend = PipelinedBackend(session, timeout_s=10)
+        session.sampler.sample = None     # sabotage the sample stage
+        with pytest.raises(TypeError):
+            backend.run(2)
+        lingering = [t.name for t in threading.enumerate()
+                     if t.name.startswith("pipeline-")]
+        assert lingering == []
+
+    def test_resumed_session_continues_from_trained_weights(self,
+                                                            tiny_ds,
+                                                            eq_cfg):
+        """Back-to-back run() calls on one session keep training the
+        same replicas (single-trainer, so bit-comparable across
+        planes)."""
+        sys_cfg = SystemConfig(hybrid=True, drm=False, prefetch=True)
+
+        sv = TrainingSession(tiny_ds, eq_cfg, sys_cfg, num_trainers=1)
+        vb = VirtualTimeBackend(sv)
+        vb.run_epoch(max_iterations=2)
+        second_v = vb.run_epoch(max_iterations=2)
+
+        sp = TrainingSession(tiny_ds, eq_cfg, sys_cfg, num_trainers=1)
+        pb = PipelinedBackend(sp, timeout_s=30)
+        pb.run(2)
+        second_p = pb.run(2)
+
+        np.testing.assert_array_equal(second_v.losses, second_p.losses)
+        for tv, tp in zip(sv.trainers, sp.trainers):
+            np.testing.assert_array_equal(tv.model.get_flat_params(),
+                                          tp.model.get_flat_params())
+
+    def test_invalid_construction_rejected(self, tiny_ds, eq_cfg):
+        from repro.errors import ProtocolError
+        session = TrainingSession(
+            tiny_ds, eq_cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True),
+            num_trainers=2)
+        with pytest.raises(ProtocolError):
+            PipelinedBackend(session, initial_depth=0)
+        with pytest.raises(ProtocolError):
+            PipelinedBackend(session, initial_depth=4, max_depth=2)
+        with pytest.raises(ProtocolError):
+            PipelinedBackend(session, timeout_s=0)
+        with pytest.raises(ProtocolError):
+            PipelinedBackend(session).run(0)
 
 
 class TestHybridDRMQuantizedEquivalence:
@@ -314,10 +434,36 @@ class TestSamplerRegistry:
 
 class TestBackendRegistry:
     def test_builtin_backends_registered(self):
-        assert available_backends() == ("process", "threaded", "virtual")
+        assert available_backends() == ("pipelined", "process",
+                                        "threaded", "virtual")
         assert get_backend("virtual") is VirtualTimeBackend
         assert get_backend("threaded") is ThreadedBackend
         assert get_backend("process") is ProcessPoolBackend
+        assert get_backend("pipelined") is PipelinedBackend
+
+    def test_declared_conformance_tiers(self):
+        """Lock-step backends are strict; the overlapped pipeline is
+        the one statistical-tier backend."""
+        from backend_conformance import backend_tier
+        assert backend_tier("threaded") == "strict"
+        assert backend_tier("process") == "strict"
+        assert backend_tier("pipelined") == "statistical"
+
+    def test_unknown_tier_rejected(self):
+        """A backend declaring a bogus tier fails loudly in the kit,
+        not silently against the wrong matrix."""
+        from backend_conformance import backend_tier
+
+        @register_backend
+        class BogusTierBackend(VirtualTimeBackend):
+            name = "bogus-tier"
+            conformance_tier = "vibes"
+
+        try:
+            with pytest.raises(ConfigError):
+                backend_tier("bogus-tier")
+        finally:
+            BACKENDS.pop("bogus-tier", None)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigError):

@@ -344,6 +344,148 @@ class TestPrefetchBufferEdgeCases:
         assert buf.occupancy == 0
 
 
+class TestPrefetchDeadlineSemantics:
+    """Timeouts are monotonic deadlines, not per-wait restarts.
+
+    ``Condition.wait(timeout)`` restarts its timer on every call; the
+    old put/get loops re-armed the full timeout after every wakeup, so
+    a peer that kept notifying without making the predicate true could
+    block a caller far past its requested deadline. These tests provoke
+    exactly that: a waker thread repeatedly notifies the buffer's
+    conditions (the legal spurious-wakeup scenario) while the predicate
+    stays false, and assert the blocked call still fails on time.
+    """
+
+    def _spin_waker(self, buf, stop):
+        wakeups = [0]
+
+        def waker():
+            while not stop.is_set():
+                with buf._lock:
+                    buf._not_full.notify_all()
+                    buf._not_empty.notify_all()
+                wakeups[0] += 1
+                time.sleep(0.02)
+
+        t = threading.Thread(target=waker, daemon=True)
+        t.start()
+        return t, wakeups
+
+    def test_put_deadline_survives_repeated_wakeups(self):
+        buf = PrefetchBuffer(1)
+        buf.put("occupying")
+        stop = threading.Event()
+        waker, wakeups = self._spin_waker(buf, stop)
+        outcome = []
+
+        def blocked_put():
+            try:
+                buf.put("late", timeout=0.25)
+                outcome.append("returned")
+            except ProtocolError as exc:
+                outcome.append(exc)
+
+        t = threading.Thread(target=blocked_put, daemon=True)
+        start = time.monotonic()
+        t.start()
+        t.join(timeout=2.0)
+        elapsed = time.monotonic() - start
+        stop.set()
+        waker.join(timeout=5.0)
+        # Old semantics: every 20 ms wakeup re-armed the 250 ms wait,
+        # so the put outlives the 2 s join. New semantics: it fails at
+        # ~250 ms no matter how many wakeups occurred in between.
+        assert not t.is_alive(), \
+            "put blocked past its deadline under repeated wakeups"
+        assert elapsed < 1.5
+        assert wakeups[0] >= 2, "scenario never provoked re-wakeups"
+        assert len(outcome) == 1
+        assert isinstance(outcome[0], ProtocolError)
+        assert "put timed out" in str(outcome[0])
+
+    def test_get_deadline_survives_repeated_wakeups(self):
+        buf = PrefetchBuffer(1)          # stays empty
+        stop = threading.Event()
+        waker, wakeups = self._spin_waker(buf, stop)
+        outcome = []
+
+        def blocked_get():
+            try:
+                outcome.append(buf.get(timeout=0.25))
+            except ProtocolError as exc:
+                outcome.append(exc)
+
+        t = threading.Thread(target=blocked_get, daemon=True)
+        t.start()
+        t.join(timeout=2.0)
+        stop.set()
+        waker.join(timeout=5.0)
+        assert not t.is_alive(), \
+            "get blocked past its deadline under repeated wakeups"
+        assert wakeups[0] >= 2, "scenario never provoked re-wakeups"
+        assert len(outcome) == 1
+        assert isinstance(outcome[0], ProtocolError)
+        assert "get timed out" in str(outcome[0])
+
+    def test_zero_ish_timeout_fails_fast_when_full(self):
+        buf = PrefetchBuffer(1)
+        buf.put("a")
+        start = time.monotonic()
+        with pytest.raises(ProtocolError, match="put timed out"):
+            buf.put("b", timeout=0.001)
+        assert time.monotonic() - start < 0.5
+
+
+class TestPrefetchResize:
+    def test_grow_unblocks_waiting_producer(self):
+        buf = PrefetchBuffer(1)
+        buf.put("a")
+        done = threading.Event()
+
+        def producer():
+            buf.put("b", timeout=5)
+            done.set()
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not done.is_set()
+        buf.resize(2)
+        assert done.wait(timeout=5)
+        t.join(timeout=5)
+        assert buf.occupancy == 2
+
+    def test_shrink_keeps_items_and_blocks_puts(self):
+        buf = PrefetchBuffer(3)
+        for i in range(3):
+            buf.put(i)
+        buf.resize(1)
+        # Nothing dropped; puts blocked until drained below new depth.
+        assert buf.occupancy == 3
+        with pytest.raises(ProtocolError, match="put timed out"):
+            buf.put(99, timeout=0.05)
+        assert [buf.get() for _ in range(3)] == [0, 1, 2]
+        buf.put(99)                       # occupancy 0 < depth 1 again
+        assert buf.get() == 99
+
+    def test_resize_validates_depth(self):
+        buf = PrefetchBuffer(2)
+        with pytest.raises(ProtocolError):
+            buf.resize(0)
+
+    def test_occupancy_statistics(self):
+        buf = PrefetchBuffer(4)
+        assert buf.mean_occupancy == 0.0
+        buf.put("a")                      # occ 1
+        buf.put("b")                      # occ 2
+        buf.get()                         # occ 1
+        buf.get()                         # occ 0
+        assert buf.total_puts == 2
+        assert buf.total_gets == 2
+        assert buf.high_water == 2
+        assert buf.mean_occupancy == pytest.approx((1 + 2 + 1 + 0) / 4)
+
+
 # ---------------------------------------------------------------------------
 # DRM engine
 # ---------------------------------------------------------------------------
