@@ -55,23 +55,23 @@ def test_fig11_tfp_gain_is_largest_single_step(benchmark):
     assert max(gains) > 1.5
 
 
-def _smoke(backend: str) -> None:
+def _smoke(backend: str):
     """Quick ablation pass on one dataset — the CI backend smoke.
 
     The virtual backend sweeps a shortened timing simulation; live
-    backends (threaded, process, pipelined) run the same four preset
-    sessions functionally — threads behind the GIL, worker processes
-    over the shared-memory feature store, or the overlapped
-    producer/consumer pipeline (a scaled-down config keeps each
-    within seconds).
+    backends (threaded, process, process_sampling, pipelined) run the
+    same four preset sessions functionally — threads behind the GIL,
+    worker processes over the shared-memory feature store (sampling in
+    the parent or, for ``process_sampling``, in the workers), or the
+    overlapped producer/consumer pipeline (a scaled-down config keeps
+    each within seconds).
     """
     overrides = dict(minibatch_size=128, fanouts=(5, 5), hidden_dim=32)
-    res = run_ablation(platform_kind="fpga", num_accels=2,
-                       datasets=("ogbn-products",), backend=backend,
-                       iterations=4,
-                       config_overrides=None
-                       if backend == "virtual" else overrides)
-    print(res.render())
+    return run_ablation(platform_kind="fpga", num_accels=2,
+                        datasets=("ogbn-products",), backend=backend,
+                        iterations=4,
+                        config_overrides=None
+                        if backend == "virtual" else overrides)
 
 
 if __name__ == "__main__":
@@ -82,13 +82,17 @@ if __name__ == "__main__":
                     "figure reproduction)")
     parser.add_argument("--backend",
                         choices=("virtual", "threaded", "process",
-                                 "pipelined"),
+                                 "process_sampling", "pipelined"),
                         default="virtual",
                         help="execution backend the presets run on")
     parser.add_argument("--smoke", action="store_true",
                         help="short single-dataset pass")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="additionally write the result table as "
+                             "JSON (CI archives these as artifacts)")
     args = parser.parse_args()
-    if args.smoke:
-        _smoke(args.backend)
-    else:
-        print(run_ablation(backend=args.backend).render())
+    res = _smoke(args.backend) if args.smoke \
+        else run_ablation(backend=args.backend)
+    print(res.render())
+    if args.json:
+        res.write_json(args.json)

@@ -74,22 +74,29 @@ if __name__ == "__main__":
                     "wall-clock time)")
     parser.add_argument("--backend",
                         choices=("virtual", "threaded", "process",
-                                 "pipelined"),
+                                 "process_sampling", "pipelined"),
                         default="virtual",
                         help="'virtual' prints the perf-model "
                              "projection; live backends measure "
-                             "wall time ('pipelined' adds the "
+                             "wall time ('process_sampling' samples "
+                             "worker-side, 'pipelined' adds the "
                              "per-stage overlap report)")
     parser.add_argument("--trainers", type=int, nargs="+",
                         default=(1, 2, 4),
                         help="trainer replica counts for live sweeps")
     parser.add_argument("--iterations", type=int, default=4,
                         help="synchronized iterations per live point")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="additionally write the result table as "
+                             "JSON (CI archives these as artifacts)")
     args = parser.parse_args()
     if args.backend == "virtual":
-        print(run_scalability().render())
+        res = run_scalability()
     else:
-        print(run_wallclock_scalability(
+        res = run_wallclock_scalability(
             trainer_counts=tuple(args.trainers),
             backend=args.backend,
-            iterations=args.iterations).render())
+            iterations=args.iterations)
+    print(res.render())
+    if args.json:
+        res.write_json(args.json)

@@ -232,7 +232,10 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
     each replica is a worker process gathering features from the
     shared-memory store, so — unlike ``"threaded"``, whose NumPy work
     serializes behind the GIL — that speedup is actually reachable
-    (given the cores to show it). The ``"pipelined"`` backend overlaps
+    (given the cores to show it); ``"process_sampling"`` additionally
+    moves neighbor sampling into the workers (independent per-worker
+    RNG streams), so the sample stage parallelizes too instead of
+    serializing in the parent. The ``"pipelined"`` backend overlaps
     the producer stages with training instead; its rows carry the
     per-stage overlap report (adaptive look-ahead range plus buffer
     high-water / mean occupancy per stage) in the ``overlap`` column.
@@ -284,10 +287,12 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
                         overlap() if overlap is not None else "-")
     res.notes.append(
         "process backend = one worker process per trainer over the "
-        "shared-memory feature store; threaded = GIL-bound reference; "
-        "pipelined = overlapped sample/gather/transfer stage threads "
-        "(overlap column: adaptive depth range | per-stage items, "
-        "buffer high-water, mean occupancy)")
+        "shared-memory feature store; process_sampling = workers also "
+        "sample locally from per-worker RNG streams; threaded = "
+        "GIL-bound reference; pipelined = overlapped "
+        "sample/gather/transfer stage threads (overlap column: "
+        "adaptive depth range | per-stage items, buffer high-water, "
+        "mean occupancy)")
     return res
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -33,6 +34,31 @@ class ExperimentResult:
     def render(self) -> str:
         return format_table(self.title, self.columns, self.rows,
                             self.notes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (CI uploads bench smokes as artifacts)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [[_jsonable(v) for v in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`to_dict` to ``path`` (machine-readable twin of
+        :meth:`render` — what the CI workflow archives)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+
+def _jsonable(v):
+    """Coerce one table cell for JSON (NumPy scalars, odd objects)."""
+    if isinstance(v, (str, bool, int, float)) or v is None:
+        return v
+    if hasattr(v, "item"):                # numpy scalar
+        return v.item()
+    return str(v)
 
 
 def _fmt(v) -> str:

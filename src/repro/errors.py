@@ -39,6 +39,26 @@ class ProtocolError(ReproError):
     """The processor-accelerator training protocol was violated."""
 
 
+class StageTimeoutError(ProtocolError):
+    """A watchdog deadline expired on a blocking stage handoff.
+
+    Raised by :class:`~repro.runtime.prefetch.PrefetchBuffer` waits and
+    the process backends' cross-process receives. Subclasses
+    :class:`ProtocolError` so existing handlers keep working, but CI
+    logs can tell an *infrastructure* stall (wedged worker, starved
+    pipeline) apart from a conformance failure.
+    """
+
+
+class WorkerError(ProtocolError):
+    """A worker process died, crashed, or answered out of protocol.
+
+    Carries the worker's traceback when one was received. Like
+    :class:`StageTimeoutError`, this exists so infra failures are
+    distinguishable from conformance failures in CI logs.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event engine was driven into an invalid state."""
 

@@ -25,13 +25,17 @@ This package is the paper's primary contribution (§III-§IV):
   :class:`ThreadedBackend` (live threads, Listing-1 handshakes),
   ``get_backend("process")`` returns :class:`ProcessPoolBackend`
   (worker processes over a shared-memory feature store — GIL-free
-  NumPy training), and ``get_backend("pipelined")`` returns
+  NumPy training), ``get_backend("process_sampling")`` returns
+  :class:`ProcessSamplingBackend` (workers that additionally run the
+  sample stage locally from independent per-worker RNG streams — the
+  parent deals plan shards and adjudicates DRM), and
+  ``get_backend("pipelined")`` returns
   :class:`PipelinedBackend` (overlapped per-trainer
   sample → gather → transfer stage threads with an adaptive,
   perf-model-driven look-ahead — the paper's §IV-B prefetch made
   live). All execute the *same* plan and session, so hybrid
   split, DRM, prefetch and transfer quantization behave identically on
-  each; new executors (worker-side sampling, multi-node) join via
+  each; new executors (multi-node, process × pipeline fusion) join via
   :func:`register_backend` without touching the core and inherit the
   tiered conformance suite
   (``tests/integration/backend_conformance.py``) at the tier their
@@ -51,12 +55,17 @@ from .trainer import TrainerNode, TrainerReport
 from .prefetch import PrefetchBuffer
 from .drm import DRMDecision, DRMEngine
 from .core import BatchPlan, PlannedIteration, TrainingSession
-from .shm import SharedFeatureStore, SharedStoreManifest
+from .shm import (
+    SharedFeatureStore,
+    SharedSamplerSpec,
+    SharedStoreManifest,
+)
 from .backends import (
     BACKENDS,
     ExecutionBackend,
     PipelinedBackend,
     ProcessPoolBackend,
+    ProcessSamplingBackend,
     ThreadedBackend,
     VirtualTimeBackend,
     available_backends,
@@ -66,6 +75,7 @@ from .backends import (
 from .backends.threaded import ExecutorReport
 from .backends.virtual import EpochReport
 from .backends.process_pool import ProcessReport
+from .backends.process_sampling import ProcessSamplingReport
 from .backends.pipelined import PipelinedReport, StageStats, \
     adaptive_depth
 from .hybrid import HyScaleGNN
@@ -89,12 +99,15 @@ __all__ = [
     "VirtualTimeBackend",
     "ThreadedBackend",
     "ProcessPoolBackend",
+    "ProcessSamplingBackend",
     "PipelinedBackend",
     "ProcessReport",
+    "ProcessSamplingReport",
     "PipelinedReport",
     "StageStats",
     "adaptive_depth",
     "SharedFeatureStore",
+    "SharedSamplerSpec",
     "SharedStoreManifest",
     "BACKENDS",
     "register_backend",

@@ -17,6 +17,11 @@ substrate. Four ship with the library:
   :class:`~repro.runtime.prefetch.PrefetchBuffer` queues feeding the
   train stage, with an adaptive look-ahead driven by the performance
   model — the paper's §IV-B overlap made live.
+* ``"process_sampling"`` — :class:`ProcessSamplingBackend`: worker
+  processes that additionally run the **sample stage locally** over
+  the shared CSR, each with an independent ``SeedSequence``-derived
+  RNG stream; the parent deals only target-id shards of the plan and
+  keeps adjudicating DRM — the last lock-step stage made parallel.
 
 All consume the same :class:`~repro.runtime.core.BatchPlan` and session,
 so every feature flag — hybrid CPU+accelerator split, DRM, two-stage
@@ -25,11 +30,12 @@ on each; ``tests/integration/backend_conformance.py`` holds every
 registered backend (third-party ones included) to the conformance tier
 its :attr:`~ExecutionBackend.conformance_tier` flag declares: ``strict``
 backends must match the virtual reference bit for bit, ``statistical``
-backends (the pipelined plane, whose stages overlap out of lock-step)
-must preserve exact epoch coverage, work conservation and loss/parameter
-closeness. Future executors (worker-side sampling, multi-node sharding)
-plug in through :func:`register_backend` and inherit the right tier for
-free.
+backends (the pipelined plane, whose stages overlap out of lock-step;
+the worker-sampling plane, whose workers draw from independent RNG
+streams) must preserve exact epoch coverage, per-worker shard
+disjointness, work conservation and loss/parameter closeness. Future
+executors (multi-node sharding, process × pipeline fusion) plug in
+through :func:`register_backend` and inherit the right tier for free.
 """
 
 from __future__ import annotations
@@ -39,6 +45,10 @@ from .base import ExecutionBackend
 from .virtual import EpochReport, VirtualTimeBackend
 from .threaded import ExecutorReport, ThreadedBackend
 from .process_pool import ProcessPoolBackend, ProcessReport
+from .process_sampling import (
+    ProcessSamplingBackend,
+    ProcessSamplingReport,
+)
 from .pipelined import (
     PipelinedBackend,
     PipelinedReport,
@@ -82,6 +92,7 @@ def available_backends() -> tuple[str, ...]:
 register_backend(VirtualTimeBackend)
 register_backend(ThreadedBackend)
 register_backend(ProcessPoolBackend)
+register_backend(ProcessSamplingBackend)
 register_backend(PipelinedBackend)
 
 __all__ = [
@@ -89,10 +100,12 @@ __all__ = [
     "VirtualTimeBackend",
     "ThreadedBackend",
     "ProcessPoolBackend",
+    "ProcessSamplingBackend",
     "PipelinedBackend",
     "EpochReport",
     "ExecutorReport",
     "ProcessReport",
+    "ProcessSamplingReport",
     "PipelinedReport",
     "StageStats",
     "adaptive_depth",

@@ -91,7 +91,13 @@ def adaptive_depth(times: StageTimes, cap: int, floor: int = 1) -> int:
         return floor
     if consumer <= 0.0 or not math.isfinite(consumer):
         return cap
-    return max(floor, min(cap, math.ceil(producer / consumer)))
+    ratio = producer / consumer
+    # Both operands can be finite while their ratio overflows to inf
+    # (a denormal consumer); ceil(inf) raises, and an unboundedly
+    # producer-bound pipeline wants the cap anyway.
+    if not math.isfinite(ratio):
+        return cap
+    return max(floor, min(cap, math.ceil(ratio)))
 
 
 @dataclass(frozen=True)

@@ -51,7 +51,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ...errors import ProtocolError
+from ...errors import ProtocolError, StageTimeoutError, WorkerError
 from ...perfmodel.model import StageTimes, WorkloadSplit
 from ...sim.trace import Timeline
 from ..protocol import ProtocolLog, Signal
@@ -115,53 +115,87 @@ def _rebuild_minibatch(node_ids, blocks_raw, feature_dim):
                      feature_dim=int(feature_dim))
 
 
-def _worker_main(conn, manifest, spec: _WorkerSpec) -> None:
-    """One trainer replica: map the store, train on request, mirror the
-    synchronized update. Runs until ``("stop",)`` or pipe EOF."""
-    store = None
-    try:
+class _WorkerReplica:
+    """One worker's in-process state: the store mapping plus its model
+    replica, trainer node and optimizer (built inside the worker, never
+    pickled)."""
+
+    def __init__(self, store, spec: _WorkerSpec) -> None:
         from ...nn.models import build_model
         from ...nn.optim import SGD
-        from ..core import gather_batch_features
-        from ..shm import SharedFeatureStore
         from ..trainer import TrainerNode
 
-        store = SharedFeatureStore.attach(manifest)
-        features = store.features
-        labels = store.labels
-        degrees = store.degrees          # private copy, outlives views
-        model = build_model(spec.model_name, spec.dims, spec.seed)
-        node = TrainerNode(spec.name, spec.kind, model, None, spec.dims,
-                           spec.model_name)
-        opt = SGD(model, lr=spec.learning_rate)
-        conn.send(("ready", spec.index))
+        self.store = store
+        self.features = store.features
+        self.labels = store.labels
+        self.degrees = store.degrees     # private copy, outlives views
+        self.model = build_model(spec.model_name, spec.dims, spec.seed)
+        self.node = TrainerNode(spec.name, spec.kind, self.model, None,
+                                spec.dims, spec.model_name)
+        self.opt = SGD(self.model, lr=spec.learning_rate)
+        self.sampler = None    # set by the worker-sampling plane
 
-        while True:
-            msg = conn.recv()
-            tag = msg[0]
-            if tag == "train":
-                _, it, node_ids, blocks_raw, feature_dim = msg
-                mb = _rebuild_minibatch(node_ids, blocks_raw, feature_dim)
-                # The session's exact feature path (gather, float64
-                # widen, accel quantization), against the shared store.
-                x0 = gather_batch_features(features, mb, spec.kind,
-                                           spec.transfer_precision)
-                rep = node.train_minibatch(mb, x0, labels[mb.targets],
-                                           degrees)
-                conn.send(("result", it, rep.loss, rep.accuracy,
-                           rep.batch_targets, model.get_flat_grads()))
-            elif tag == "apply":
-                _, _, avg = msg
-                model.set_flat_grads(avg)
-                opt.step()
-            elif tag == "init":
-                model.set_flat_params(msg[1])
-            elif tag == "params":
-                conn.send(("params", model.get_flat_params()))
-            elif tag == "stop":
-                return
-            else:
-                raise ProtocolError(f"unknown message tag {tag!r}")
+    def train(self, spec: _WorkerSpec, mb):
+        """The session's exact feature path (gather, float64 widen,
+        accel quantization) against the shared store, then one
+        forward/backward."""
+        from ..core import gather_batch_features
+        x0 = gather_batch_features(self.features, mb, spec.kind,
+                                   spec.transfer_precision)
+        return self.node.train_minibatch(mb, x0,
+                                         self.labels[mb.targets],
+                                         self.degrees)
+
+    def release_views(self) -> None:
+        """Drop shm-backed views before unmapping, else ``close()``
+        raises BufferError on the exported buffers. Clears the
+        worker-side sampler too (its CSR graph views the segment)."""
+        self.features = self.labels = None
+        self.sampler = None
+
+
+def _serve(conn, replica: _WorkerReplica, spec: _WorkerSpec,
+           handle_train) -> None:
+    """The worker message loop both process planes share.
+
+    ``handle_train(replica, spec, msg)`` answers one ``"train"``
+    message with the reply tuple; everything else — the ready
+    handshake, the parameter init/audit, the synchronized ``apply`` +
+    local SGD step that keeps the replica bit-equal to the parent
+    mirror — is plane-independent. Runs until ``("stop",)`` or EOF.
+    """
+    conn.send(("ready", spec.index))
+    while True:
+        msg = conn.recv()
+        tag = msg[0]
+        if tag == "train":
+            conn.send(handle_train(replica, spec, msg))
+        elif tag == "apply":
+            _, _, avg = msg
+            replica.model.set_flat_grads(avg)
+            replica.opt.step()
+        elif tag == "init":
+            replica.model.set_flat_params(msg[1])
+        elif tag == "params":
+            conn.send(("params", replica.model.get_flat_params()))
+        elif tag == "stop":
+            return
+        else:
+            raise ProtocolError(f"unknown message tag {tag!r}")
+
+
+def _run_worker(conn, manifest, spec: _WorkerSpec, setup) -> None:
+    """Worker-process scaffolding: attach the store, delegate to
+    ``setup(store, spec) -> (replica, handle_train)``, serve, and tear
+    down (close-never-unlink) no matter how the loop ends."""
+    store = None
+    replica = None
+    try:
+        from ..shm import SharedFeatureStore
+
+        store = SharedFeatureStore.attach(manifest)
+        replica, handle_train = setup(store, spec)
+        _serve(conn, replica, spec, handle_train)
     except EOFError:
         pass                              # parent went away: just exit
     except BaseException:
@@ -171,14 +205,32 @@ def _worker_main(conn, manifest, spec: _WorkerSpec) -> None:
             pass
     finally:
         if store is not None:
-            # Release the shm-backed views before unmapping, else
-            # close() raises BufferError on the exported buffers.
-            features = labels = None  # noqa: F841
+            if replica is not None:
+                replica.release_views()
             try:
                 store.close()             # never unlink: parent owns it
             except Exception:
                 pass
         conn.close()
+
+
+def _train_wire_batch(replica: _WorkerReplica, spec: _WorkerSpec, msg):
+    """Handle a parent-sampled batch shipped in wire form."""
+    _, it, node_ids, blocks_raw, feature_dim = msg
+    mb = _rebuild_minibatch(node_ids, blocks_raw, feature_dim)
+    rep = replica.train(spec, mb)
+    return ("result", it, rep.loss, rep.accuracy, rep.batch_targets,
+            replica.model.get_flat_grads())
+
+
+def _setup_parent_sampling(store, spec: _WorkerSpec):
+    return _WorkerReplica(store, spec), _train_wire_batch
+
+
+def _worker_main(conn, manifest, spec: _WorkerSpec) -> None:
+    """One trainer replica: map the store, train on request, mirror the
+    synchronized update. Runs until ``("stop",)`` or pipe EOF."""
+    _run_worker(conn, manifest, spec, _setup_parent_sampling)
 
 
 # ---------------------------------------------------------------------------
@@ -234,18 +286,17 @@ class ProcessPoolBackend(ExecutionBackend):
         """
         if iterations < 1:
             raise ProtocolError("iterations must be >= 1")
-        from ..shm import SharedFeatureStore
-
         s = self.session
         n = s.num_trainers
-        report = ProcessReport(iterations=iterations, num_workers=n)
+        report = self._make_report(iterations, n)
         rows: list[list[float]] = []
 
         setup_start = time.perf_counter()
         # Resolve the context before creating the segment: an invalid
         # start method must not leak a dataset-sized /dev/shm block.
         ctx = mp.get_context(self.mp_context)
-        store = SharedFeatureStore.create(s.dataset)
+        store = self._create_store()
+        worker_entry = self._worker_entry()
         conns = []
         procs = []
         try:
@@ -258,7 +309,7 @@ class ProcessPoolBackend(ExecutionBackend):
                     transfer_precision=s.sys_cfg.transfer_precision)
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 proc = ctx.Process(
-                    target=_worker_main,
+                    target=worker_entry,
                     args=(child_conn, store.manifest, spec),
                     name=f"repro-{trainer.name}", daemon=True)
                 proc.start()
@@ -276,7 +327,7 @@ class ProcessPoolBackend(ExecutionBackend):
             for idx in range(n):
                 tag, widx = self._recv(conns, idx)
                 if tag != "ready" or widx != idx:
-                    raise ProtocolError(
+                    raise WorkerError(
                         f"worker {idx} sent {tag!r}/{widx} instead of "
                         "its ready handshake")
                 self._send(conns, idx,
@@ -299,54 +350,38 @@ class ProcessPoolBackend(ExecutionBackend):
         return report
 
     # ------------------------------------------------------------------
+    # Subclass hooks (the worker-sampling backend swaps exactly these
+    # three, inheriting spawn / handshake / shutdown / parity intact).
+    # ------------------------------------------------------------------
+    def _worker_entry(self):
+        """Module-level worker entry point (picklable under spawn)."""
+        return _worker_main
+
+    def _create_store(self):
+        """Create the shared-memory store the workers will attach."""
+        from ..shm import SharedFeatureStore
+        return SharedFeatureStore.create(self.session.dataset)
+
+    def _make_report(self, iterations: int, n: int) -> ProcessReport:
+        return ProcessReport(iterations=iterations, num_workers=n)
+
+    # ------------------------------------------------------------------
     def _run_iteration(self, it: int, planned, conns, report,
                        rows) -> None:
-        """One Fig.-5 iteration: scatter batches, gather gradients,
-        all-reduce, broadcast the averaged update — in exactly the
-        virtual-plane order so the RNG/DRM trajectory is bit-identical."""
+        """One Fig.-5 iteration: scatter work (:meth:`_dispatch`),
+        gather gradients (:meth:`_collect`), then the shared tail —
+        all-reduce, broadcast the averaged update, optimizer steps,
+        timing/DRM bookkeeping — in exactly the virtual-plane order.
+        Subclasses override only the dispatch/collect halves; the sync
+        tail (and therefore the trajectory semantics) exists once."""
         s = self.session
-        stats_cpu = None
-        stats_accel: list = []
-        busy: list[int] = []
-
-        for idx, trainer in enumerate(s.trainers):
-            targets = planned.assignments[idx]
-            if targets is None:
-                if trainer.kind == "accel":
-                    stats_accel.append(None)
-                # Idle replica: zero gradients, weight zero in the
-                # all-reduce (parent mirrors; worker just applies the
-                # averaged update when it arrives).
-                trainer.model.zero_grad()
-                continue
-            mb = s.sampler.sample(targets)
-            st = mb.stats()
-            report.total_edges += st.total_edges
-            if trainer.kind == "cpu":
-                stats_cpu = st
-            else:
-                stats_accel.append(st)
-            self._send(conns, idx, (
-                "train", it, mb.node_ids,
-                [(b.src_local, b.dst_local, b.num_src, b.num_dst)
-                 for b in mb.blocks],
-                mb.feature_dim))
-            busy.append(idx)
+        stats_by_idx: dict[int, object] = {}
+        busy = self._dispatch(it, planned, conns, report, stats_by_idx)
 
         losses: list[float] = []
         accs: list[float] = []
-        for idx in busy:
-            msg = self._recv(conns, idx)
-            tag, rit, loss, acc, ntargets, grads = msg
-            if tag != "result" or rit != it:
-                raise ProtocolError(
-                    f"worker {idx} answered {tag!r} for iteration "
-                    f"{rit}, expected result for {it}")
-            s.trainers[idx].model.set_flat_grads(grads)
-            losses.append(loss)
-            accs.append(acc)
-            report.protocol_log.record(it, Signal.DONE,
-                                       s.trainers[idx].name)
+        self._collect(it, busy, conns, report, stats_by_idx, losses,
+                      accs)
 
         avg = s.synchronizer.all_reduce(list(planned.batch_sizes), it)
         report.protocol_log.record(it, Signal.SYNC, "synchronizer")
@@ -359,11 +394,68 @@ class ProcessPoolBackend(ExecutionBackend):
         report.losses.append(float(np.mean(losses)))
         report.accuracies.append(float(np.mean(accs)))
         if s.has_timing:
+            # Realized batch stats in trainer order (idle trainers hold
+            # a None placeholder), then one timing/DRM step — the DRM
+            # engine is adjudicated here, in the parent, on every
+            # process plane.
+            stats_cpu = None
+            stats_accel: list = []
+            for idx, trainer in enumerate(s.trainers):
+                st = stats_by_idx.get(idx)
+                if trainer.kind == "cpu":
+                    stats_cpu = st
+                else:
+                    stats_accel.append(st)
             times, row, split = s.timing_step(stats_cpu, stats_accel,
                                               it)
             rows.append(row)
             report.stage_history.append(times)
             report.split_history.append(split)
+
+    def _dispatch(self, it: int, planned, conns, report,
+                  stats_by_idx) -> list[int]:
+        """Scatter one iteration's work: sample each busy trainer's
+        batch in the parent (the single RNG stream that makes this
+        plane bit-identical to the virtual reference) and ship it in
+        wire form. Returns the busy worker indices."""
+        s = self.session
+        busy: list[int] = []
+        for idx, trainer in enumerate(s.trainers):
+            targets = planned.assignments[idx]
+            if targets is None:
+                # Idle replica: zero gradients, weight zero in the
+                # all-reduce (parent mirrors; worker just applies the
+                # averaged update when it arrives).
+                trainer.model.zero_grad()
+                continue
+            mb = s.sampler.sample(targets)
+            st = mb.stats()
+            report.total_edges += st.total_edges
+            stats_by_idx[idx] = st
+            self._send(conns, idx, (
+                "train", it, mb.node_ids,
+                [(b.src_local, b.dst_local, b.num_src, b.num_dst)
+                 for b in mb.blocks],
+                mb.feature_dim))
+            busy.append(idx)
+        return busy
+
+    def _collect(self, it: int, busy, conns, report, stats_by_idx,
+                 losses, accs) -> None:
+        """Gather one iteration's results into the parent mirrors."""
+        s = self.session
+        for idx in busy:
+            msg = self._recv(conns, idx)
+            tag, rit, loss, acc, ntargets, grads = msg
+            if tag != "result" or rit != it:
+                raise WorkerError(
+                    f"worker {idx} answered {tag!r} for iteration "
+                    f"{rit}, expected result for {it}")
+            s.trainers[idx].model.set_flat_grads(grads)
+            losses.append(loss)
+            accs.append(acc)
+            report.protocol_log.record(it, Signal.DONE,
+                                       s.trainers[idx].name)
 
     # ------------------------------------------------------------------
     def _send(self, conns, idx: int, msg) -> None:
@@ -372,23 +464,28 @@ class ProcessPoolBackend(ExecutionBackend):
         try:
             conns[idx].send(msg)
         except (BrokenPipeError, OSError) as exc:
-            raise ProtocolError(
+            raise WorkerError(
                 f"worker {idx} died before {msg[0]!r} could be "
                 f"delivered: {exc!r}") from exc
 
     def _recv(self, conns, idx: int):
-        """Receive one message from worker ``idx`` under the watchdog."""
+        """Receive one message from worker ``idx`` under the watchdog.
+
+        Failures surface as the typed infra errors (`StageTimeoutError`
+        for a wedged worker, `WorkerError` for a dead or crashed one),
+        so CI logs can tell them apart from conformance failures.
+        """
         conn = conns[idx]
         try:
             if not conn.poll(self.timeout_s):
-                raise ProtocolError(
+                raise StageTimeoutError(
                     f"worker {idx} recv timeout after {self.timeout_s}s")
             msg = conn.recv()
         except (EOFError, BrokenPipeError, OSError) as exc:
-            raise ProtocolError(
+            raise WorkerError(
                 f"worker {idx} died mid-iteration: {exc!r}") from exc
         if msg[0] == "error":
-            raise ProtocolError(
+            raise WorkerError(
                 f"worker {idx} failed:\n{msg[1]}")
         return msg
 
@@ -401,7 +498,7 @@ class ProcessPoolBackend(ExecutionBackend):
             self._send(conns, idx, ("params",))
             tag, flat = self._recv(conns, idx)
             if tag != "params":
-                raise ProtocolError(
+                raise WorkerError(
                     f"worker {idx} answered {tag!r} to a params request")
             if not np.array_equal(flat,
                                   s.trainers[idx].model.get_flat_params()):

@@ -470,6 +470,20 @@ class TrainingSession:
     def labels_for(self, mb: MiniBatch) -> np.ndarray:
         return self.dataset.labels[mb.targets]
 
+    def shared_sampler_spec(self):
+        """Picklable spec a worker rebuilds this session's sampler from.
+
+        The spec travels in the :class:`~repro.runtime.shm.SharedStoreManifest`
+        of a worker-sampling backend; each worker derives its own
+        independent RNG stream from the config's base seed via
+        :func:`repro.sampling.worker_stream_seed`, so the parent deals
+        only target-id shards of the :class:`BatchPlan` and the sample
+        stage runs on every worker's cores in parallel.
+        """
+        from .shm import SharedSamplerSpec
+        return SharedSamplerSpec(train_cfg=self.train_cfg,
+                                 feature_dim=self.dataset.spec.feature_dim)
+
     def reduce_and_step(self, batch_sizes: list[int],
                         iteration: int | None = None) -> np.ndarray:
         """Synchronize one iteration: all-reduce then step every

@@ -29,7 +29,7 @@ import time
 from collections import deque
 from typing import Any
 
-from ..errors import ProtocolError
+from ..errors import ProtocolError, StageTimeoutError
 
 
 class PrefetchBuffer:
@@ -74,7 +74,9 @@ class PrefetchBuffer:
             # Either the budget is already spent, or this single wait
             # consumed the rest of it without a notification.
             if deadline - time.monotonic() <= 0:
-                raise ProtocolError(f"prefetch {what} timed out")
+                # Typed as an infra failure (not a conformance one):
+                # CI log triage keys off the exception class.
+                raise StageTimeoutError(f"prefetch {what} timed out")
 
     def put(self, item: Any, timeout: float | None = None) -> None:
         """Insert, blocking while the buffer is full.
@@ -82,8 +84,9 @@ class PrefetchBuffer:
         Raises
         ------
         ProtocolError
-            If the buffer was closed, or the deadline (``timeout``
-            seconds from the call) expired.
+            If the buffer was closed.
+        StageTimeoutError
+            If the deadline (``timeout`` seconds from the call) expired.
         """
         deadline = None if timeout is None \
             else time.monotonic() + timeout

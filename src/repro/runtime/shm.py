@@ -67,11 +67,36 @@ class SharedArraySpec:
 
 
 @dataclass(frozen=True)
+class SharedSamplerSpec:
+    """Everything a worker needs to rebuild the session's sampler family
+    against the shared CSR topology (picklable).
+
+    ``train_cfg`` carries the whole training config (sampler family
+    name, fanouts, layer count, base seed) so third-party samplers
+    registered via :func:`repro.sampling.register_sampler` rebuild from
+    whatever config fields their builder reads.
+    :func:`repro.sampling.build_worker_sampler` consumes this spec plus
+    a worker index and derives that worker's independent RNG stream.
+    """
+
+    train_cfg: "object"            # repro.config.TrainingConfig
+    feature_dim: int
+
+
+@dataclass(frozen=True)
 class SharedStoreManifest:
-    """Everything a worker needs to map the store (picklable)."""
+    """Everything a worker needs to map the store (picklable).
+
+    ``sampler`` is optional sampler state: when the creating backend
+    runs worker-side neighbor sampling, the manifest carries the
+    :class:`SharedSamplerSpec` the workers rebuild their samplers from
+    (the topology itself travels in the segment as ``indptr`` /
+    ``indices`` / ``train_ids``).
+    """
 
     segment: str
     arrays: tuple[SharedArraySpec, ...]
+    sampler: SharedSamplerSpec | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -109,19 +134,24 @@ class SharedFeatureStore:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def create(cls, dataset) -> "SharedFeatureStore":
+    def create(cls, dataset,
+               sampler_spec: SharedSamplerSpec | None = None
+               ) -> "SharedFeatureStore":
         """Copy ``dataset``'s big arrays into a fresh shared segment.
 
-        Shares ``features``, ``labels``, and the CSR topology
-        (``indptr``/``indices``) — everything a worker needs to gather
-        inputs and evaluate the models' degree terms without touching
-        the parent's address space.
+        Shares ``features``, ``labels``, the CSR topology
+        (``indptr``/``indices``) and ``train_ids`` — everything a
+        worker needs to gather inputs, evaluate the models' degree
+        terms, *and* (with a ``sampler_spec``) rebuild the session's
+        sampler family locally, without touching the parent's address
+        space.
         """
         arrays = {
             "features": np.ascontiguousarray(dataset.features),
             "labels": np.ascontiguousarray(dataset.labels),
             "indptr": np.ascontiguousarray(dataset.graph.indptr),
             "indices": np.ascontiguousarray(dataset.graph.indices),
+            "train_ids": np.ascontiguousarray(dataset.train_ids),
         }
         specs: list[SharedArraySpec] = []
         offset = 0
@@ -135,7 +165,8 @@ class SharedFeatureStore:
         shm = shared_memory.SharedMemory(name=name, create=True,
                                          size=max(1, offset))
         manifest = SharedStoreManifest(segment=shm.name,
-                                       arrays=tuple(specs))
+                                       arrays=tuple(specs),
+                                       sampler=sampler_spec)
         store = cls(shm, manifest, owner=True)
         for spec in specs:
             store._views[spec.key][...] = arrays[spec.key]
@@ -172,10 +203,25 @@ class SharedFeatureStore:
         return self._view("indices")
 
     @property
+    def train_ids(self) -> np.ndarray:
+        return self._view("train_ids")
+
+    @property
     def degrees(self) -> np.ndarray:
         """Out-degrees derived from the shared CSR (a private copy —
         safe to hold past :meth:`close`)."""
         return np.diff(self._view("indptr"))
+
+    def csr_graph(self):
+        """The shared topology as a :class:`~repro.graph.csr.CSRGraph`.
+
+        Zero-copy: the graph's ``indptr``/``indices`` are views into
+        the segment (already int64 and contiguous, so ``CSRGraph``'s
+        normalization copies nothing). The returned graph pins the
+        mapping — drop it before :meth:`close`, like any other view.
+        """
+        from ..graph.csr import CSRGraph
+        return CSRGraph(self.indptr, self.indices)
 
     @property
     def nbytes(self) -> int:

@@ -29,6 +29,7 @@ from .base import LayerBlock, MiniBatch, MiniBatchStats, Sampler
 from .neighbor import NeighborSampler
 from .saint import SaintEdgeSampler, SaintNodeSampler, SaintRWSampler
 from .full import FullBatchSampler
+from .shared import build_worker_sampler, worker_stream_seed
 
 #: name -> builder(graph, train_ids, train_cfg, feature_dim) -> Sampler.
 SAMPLER_REGISTRY: dict[str, Callable[..., Sampler]] = {}
@@ -107,4 +108,6 @@ __all__ = [
     "register_sampler",
     "get",
     "build_sampler",
+    "build_worker_sampler",
+    "worker_stream_seed",
 ]

@@ -1,0 +1,68 @@
+"""Worker-side sampler construction over shared memory.
+
+HyScale-GNN keeps every CPU core busy with sampling while trainers
+consume batches (paper §III-A); DistDGL-style systems realize that by
+pushing neighbor sampling *into* the worker processes, each with its
+own RNG stream. This module is the sampling side of that recipe:
+
+* :func:`worker_stream_seed` — deterministic, **independent** per-worker
+  seeds derived through :class:`numpy.random.SeedSequence`. Worker
+  ``k``'s stream depends only on ``(base_seed, k)``, never on how many
+  workers run, so adding a worker leaves every existing stream
+  untouched (the property the unit suite pins).
+* :func:`build_worker_sampler` — rebuild the session's sampler family
+  inside a worker, against the CSR topology and train-id set mapped
+  zero-copy from a :class:`~repro.runtime.shm.SharedFeatureStore`. The
+  family is resolved through the ordinary registry, so third-party
+  samplers inherit worker-side execution for free.
+
+Every registered sampler is already picklable in *spec* form — the
+:class:`~repro.runtime.shm.SharedSamplerSpec` carries the
+:class:`~repro.config.TrainingConfig` plus the feature dim, and the
+topology travels in the shared segment, so nothing graph-sized ever
+crosses a pipe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SamplingError
+from .base import Sampler
+
+
+def worker_stream_seed(base_seed: int, worker_index: int) -> int:
+    """Derive worker ``worker_index``'s sampler seed from ``base_seed``.
+
+    Uses ``SeedSequence([base_seed, worker_index])`` so the derived
+    streams are statistically independent of each other *and* of the
+    parent session's streams (which use ``base_seed`` directly and
+    ``base_seed + 1/2`` for the profile/plan) — not an ad-hoc
+    ``base + index`` offset, which would collide with them.
+    """
+    if worker_index < 0:
+        raise SamplingError("worker_index must be non-negative")
+    seq = np.random.SeedSequence([int(base_seed), int(worker_index)])
+    return int(seq.generate_state(1, dtype=np.uint64)[0])
+
+
+def build_worker_sampler(store, worker_index: int) -> Sampler:
+    """Rebuild the session's sampler inside a worker process.
+
+    ``store`` is an attached :class:`~repro.runtime.shm.SharedFeatureStore`
+    whose manifest carries a :class:`~repro.runtime.shm.SharedSamplerSpec`;
+    the sampler samples directly against the shared ``indptr`` /
+    ``indices`` / ``train_ids`` views (zero-copy), seeded with this
+    worker's independent stream.
+    """
+    from . import build_sampler  # lazy: avoid import cycle at load
+
+    spec = store.manifest.sampler
+    if spec is None:
+        raise SamplingError(
+            "shared store carries no sampler spec: create() the store "
+            "with sampler_spec=... to run worker-side sampling")
+    cfg = spec.train_cfg.with_updates(
+        seed=worker_stream_seed(spec.train_cfg.seed, worker_index))
+    return build_sampler(cfg.sampler, store.csr_graph(),
+                         store.train_ids, cfg, spec.feature_dim)

@@ -12,14 +12,16 @@ is enforced depends on the tier the backend declares via its
   **bit for bit** — per-iteration losses and accuracies, the DRM
   split/stage-time trajectory, total sampled edges, epoch coverage,
   and the final replica parameters.
-* ``statistical`` (overlapped backends — pipelined, future worker-side
-  sampling): stage threads interleave stochastic draws and the DRM
-  engine observes stage times with pipeline lag, so bit-parity is
-  impossible *by design*. The kit instead asserts what overlap must
-  still preserve: the exact iteration count, **exact epoch coverage**
-  (every train vertex exactly once per epoch — overlap may reorder
-  work, never lose or duplicate it), target-budget conservation, the
-  DRM trajectory's shape (length + work conservation per iteration),
+* ``statistical`` (out-of-lock-step backends — the pipelined plane,
+  whose stage threads interleave stochastic draws, and the
+  worker-side-sampling process plane, whose workers draw from
+  independent per-worker RNG streams): bit-parity is impossible *by
+  design*. The kit instead asserts what loose coupling must still
+  preserve: the exact iteration count, **exact epoch coverage** (every
+  train vertex exactly once per epoch — reordered or re-streamed, work
+  is never lost or duplicated), per-worker shard disjointness where
+  the backend reports it, target-budget conservation, the DRM
+  trajectory's shape (length + work conservation per iteration),
   mutual replica consistency, and tolerance-based closeness of losses,
   sampled-edge totals and final parameters to the reference.
 
@@ -63,6 +65,7 @@ REFERENCE_BACKEND = "virtual"
 BACKEND_KWARGS: dict[str, dict] = {
     "threaded": {"timeout_s": 30.0},
     "process": {"timeout_s": 120.0},
+    "process_sampling": {"timeout_s": 120.0},
     "pipelined": {"timeout_s": 30.0},
 }
 
@@ -247,6 +250,11 @@ def assert_statistical_conformance(name, case, ref_session, ref,
       full-epoch run trains every train vertex exactly once, a partial
       run trains exactly ``iterations x total_targets`` distinct
       vertices — overlap may reorder work, never lose or duplicate it;
+    * per-worker coverage, when the backend exposes ``worker_targets``
+      (worker-side sampling planes): the per-worker shards are mutually
+      disjoint — no target trained by two workers — and their union is
+      exactly the set of dispatched targets, so sharding the plan
+      across workers neither drops nor double-deals work;
     * DRM trajectory shape: one split per iteration, each conserving
       the target budget (work conservation under pipeline lag);
     * mutual replica consistency after the final all-reduce.
@@ -290,6 +298,26 @@ def assert_statistical_conformance(name, case, ref_session, ref,
             assert flat.size == expected, \
                 (f"{name} trained {flat.size} targets, expected "
                  f"{expected} (budget conservation)")
+
+    worker_targets = getattr(cand, "worker_targets", None)
+    if worker_targets is not None:
+        assert trained is not None, \
+            (f"{name} exposes worker_targets without trained_targets; "
+             "the kit cannot cross-check shard coverage")
+        per_worker = [np.concatenate(ts) if ts else
+                      np.empty(0, dtype=np.int64)
+                      for ts in worker_targets]
+        union = np.concatenate(per_worker)
+        # No double-training: a target trained by two workers would
+        # survive each worker's own dedup but collide here.
+        assert np.unique(union).size == union.size, \
+            f"{name}: two workers trained the same target"
+        # Union of worker-trained targets == the dispatched target set
+        # (and therefore, on full epochs, == the epoch target set).
+        np.testing.assert_array_equal(
+            np.sort(union), np.sort(np.concatenate(trained)),
+            err_msg=f"{name}: worker shards do not partition the "
+                    "dispatched targets")
 
     if ref_session.has_timing:
         assert len(cand.split_history) == cand.iterations

@@ -34,6 +34,7 @@ from repro.runtime import (
     HyScaleGNN,
     PipelinedBackend,
     ProcessPoolBackend,
+    ProcessSamplingBackend,
     ThreadedBackend,
     ThreadedExecutor,
     TrainingSession,
@@ -162,6 +163,120 @@ class TestProcessBackend:
             num_trainers=2)
         with pytest.raises(ProtocolError):
             ProcessPoolBackend(session).run(0)
+
+
+class TestProcessSamplingBackend:
+    """Worker-side sampling specifics the generic tiered matrix cannot
+    see: shard partitioning, stream provenance, infra-error typing."""
+
+    def _session(self, tiny_ds, eq_cfg, n=3):
+        return TrainingSession(
+            tiny_ds, eq_cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True),
+            num_trainers=n)
+
+    def test_worker_shards_partition_epoch(self, tiny_ds, eq_cfg):
+        """Union of worker-trained targets == the epoch target set,
+        with per-worker shards mutually disjoint (no double-training)."""
+        session = self._session(tiny_ds, eq_cfg)
+        rep = ProcessSamplingBackend(session, timeout_s=60).run_epoch()
+        assert len(rep.worker_targets) == session.num_trainers
+        per_worker = [np.concatenate(ts) if ts else
+                      np.empty(0, dtype=np.int64)
+                      for ts in rep.worker_targets]
+        union = np.concatenate(per_worker)
+        assert np.unique(union).size == union.size
+        np.testing.assert_array_equal(np.sort(union),
+                                      tiny_ds.train_ids)
+        assert session.plan.epochs_started == 1
+
+    def test_deterministic_across_runs(self, tiny_ds, eq_cfg):
+        """Same seed/config ⇒ bit-identical losses and parameters run
+        to run — per-worker streams are seeded, not wall-clock."""
+        r1 = ProcessSamplingBackend(self._session(tiny_ds, eq_cfg),
+                                    timeout_s=60).run(3)
+        r2 = ProcessSamplingBackend(self._session(tiny_ds, eq_cfg),
+                                    timeout_s=60).run(3)
+        np.testing.assert_array_equal(r1.losses, r2.losses)
+        np.testing.assert_array_equal(r1.accuracies, r2.accuracies)
+        assert r1.total_edges == r2.total_edges
+
+    def test_worker_draws_differ_from_parent_stream(self, tiny_ds,
+                                                    eq_cfg):
+        """The sampling genuinely moved: worker-side neighbor draws
+        come from per-worker streams, so sampled-edge totals differ
+        from the parent-sampled process plane (coverage still exact)."""
+        rp = ProcessPoolBackend(self._session(tiny_ds, eq_cfg),
+                                timeout_s=60).run(3)
+        rs = ProcessSamplingBackend(self._session(tiny_ds, eq_cfg),
+                                    timeout_s=60).run(3)
+        assert rs.total_edges != rp.total_edges
+
+    def test_resumed_session_keeps_training_same_replicas(self, tiny_ds,
+                                                          eq_cfg):
+        """Back-to-back run() calls continue from the trained weights
+        (workers re-sync to the parent's current parameters)."""
+        session = self._session(tiny_ds, eq_cfg, n=2)
+        backend = ProcessSamplingBackend(session, timeout_s=60)
+        first = backend.run(2)
+        params_after_first = [t.model.get_flat_params().copy()
+                              for t in session.trainers]
+        second = backend.run(2)
+        assert second.replicas_consistent
+        for before, t in zip(params_after_first, session.trainers):
+            assert not np.array_equal(before,
+                                      t.model.get_flat_params())
+        assert first.losses != second.losses
+
+    def test_long_runs_roll_into_fresh_epochs(self, tiny_ds, eq_cfg):
+        session = self._session(tiny_ds, eq_cfg, n=2)
+        per_epoch = session.iterations_per_epoch()
+        rep = ProcessSamplingBackend(session, timeout_s=60).run(
+            per_epoch + 2)
+        assert len(rep.losses) == per_epoch + 2
+        assert session.plan.epochs_started == 2
+
+    def test_clean_shared_memory_teardown(self, tiny_ds, eq_cfg):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        pattern = "/dev/shm/repro_shm_*"
+        before = set(glob.glob(pattern))
+        session = self._session(tiny_ds, eq_cfg, n=2)
+        ProcessSamplingBackend(session, timeout_s=60).run(2)
+        assert set(glob.glob(pattern)) == before
+
+    def test_worker_failure_raises_typed_error(self, tiny_ds):
+        """A crash inside a worker (here: an unknown sampler family at
+        rebuild time) surfaces as the typed WorkerError — infra
+        failures must be distinguishable from conformance failures in
+        CI logs — and still tears the segment down."""
+        from repro.errors import WorkerError
+        from repro.sampling import (
+            SAMPLER_REGISTRY,
+            NeighborSampler,
+            register_sampler,
+        )
+
+        register_sampler(
+            "ephemeral",
+            lambda graph, ids, c, fdim: NeighborSampler(
+                graph, ids, c.fanouts, fdim, seed=c.seed))
+        try:
+            cfg = TrainingConfig(model="sage", minibatch_size=32,
+                                 fanouts=(4, 3), hidden_dim=16,
+                                 learning_rate=0.05, seed=11,
+                                 sampler="ephemeral")
+            session = TrainingSession(
+                tiny_ds, cfg,
+                SystemConfig(hybrid=True, drm=False, prefetch=True),
+                num_trainers=2)
+        finally:
+            # Deregister before the workers spawn: their registries
+            # (rebuilt at import) never see the family, so the rebuild
+            # fails inside the worker process.
+            SAMPLER_REGISTRY.pop("ephemeral", None)
+        with pytest.raises(WorkerError):
+            ProcessSamplingBackend(session, timeout_s=60).run(2)
 
 
 class TestPipelinedBackend:
@@ -435,19 +550,23 @@ class TestSamplerRegistry:
 class TestBackendRegistry:
     def test_builtin_backends_registered(self):
         assert available_backends() == ("pipelined", "process",
+                                        "process_sampling",
                                         "threaded", "virtual")
         assert get_backend("virtual") is VirtualTimeBackend
         assert get_backend("threaded") is ThreadedBackend
         assert get_backend("process") is ProcessPoolBackend
+        assert get_backend("process_sampling") is ProcessSamplingBackend
         assert get_backend("pipelined") is PipelinedBackend
 
     def test_declared_conformance_tiers(self):
-        """Lock-step backends are strict; the overlapped pipeline is
-        the one statistical-tier backend."""
+        """Lock-step backends are strict; the out-of-lock-step planes
+        (overlapped pipeline, per-worker sampler streams) are
+        statistical."""
         from backend_conformance import backend_tier
         assert backend_tier("threaded") == "strict"
         assert backend_tier("process") == "strict"
         assert backend_tier("pipelined") == "statistical"
+        assert backend_tier("process_sampling") == "statistical"
 
     def test_unknown_tier_rejected(self):
         """A backend declaring a bogus tier fails loudly in the kit,

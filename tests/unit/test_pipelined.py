@@ -90,6 +90,16 @@ class TestAdaptiveDepthPolicy:
         free_train = StageTimes(1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0)
         assert adaptive_depth(free_train, cap=8) == 8
 
+    def test_ratio_overflow_clamps_to_cap(self):
+        """Finite producer over a denormal consumer overflows the
+        ratio to inf; the policy must clamp to the cap, not raise
+        OverflowError from ceil (regression: hypothesis found this)."""
+        times = StageTimes(t_sample_cpu=0.0, t_sample_accel=0.0,
+                           t_load=299.0, t_transfer=0.0,
+                           t_train_cpu=1.66e-306,
+                           t_train_accel=0.0, t_sync=0.0)
+        assert adaptive_depth(times, cap=8) == 8
+
     def test_invalid_bounds_rejected(self):
         times = StageTimes(1.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0)
         with pytest.raises(ProtocolError):
