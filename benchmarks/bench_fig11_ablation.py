@@ -59,12 +59,13 @@ def _smoke(backend: str):
     """Quick ablation pass on one dataset — the CI backend smoke.
 
     The virtual backend sweeps a shortened timing simulation; live
-    backends (threaded, process, process_sampling, pipelined) run the
-    same four preset sessions functionally — threads behind the GIL,
-    worker processes over the shared-memory feature store (sampling in
-    the parent or, for ``process_sampling``, in the workers), or the
-    overlapped producer/consumer pipeline (a scaled-down config keeps
-    each within seconds).
+    backends (threaded, process, process_sampling, pipelined,
+    process_pipelined) run the same four preset sessions functionally —
+    threads behind the GIL, worker processes over the shared-memory
+    feature store (sampling in the parent or, for ``process_sampling``
+    and ``process_pipelined``, in the workers), the overlapped
+    producer/consumer pipeline, or the fused worker-local overlap (a
+    scaled-down config keeps each within seconds).
     """
     overrides = dict(minibatch_size=128, fanouts=(5, 5), hidden_dim=32)
     return run_ablation(platform_kind="fpga", num_accels=2,
@@ -82,7 +83,8 @@ if __name__ == "__main__":
                     "figure reproduction)")
     parser.add_argument("--backend",
                         choices=("virtual", "threaded", "process",
-                                 "process_sampling", "pipelined"),
+                                 "process_sampling", "pipelined",
+                                 "process_pipelined"),
                         default="virtual",
                         help="execution backend the presets run on")
     parser.add_argument("--smoke", action="store_true",

@@ -74,13 +74,15 @@ if __name__ == "__main__":
                     "wall-clock time)")
     parser.add_argument("--backend",
                         choices=("virtual", "threaded", "process",
-                                 "process_sampling", "pipelined"),
+                                 "process_sampling", "pipelined",
+                                 "process_pipelined"),
                         default="virtual",
                         help="'virtual' prints the perf-model "
                              "projection; live backends measure "
                              "wall time ('process_sampling' samples "
-                             "worker-side, 'pipelined' adds the "
-                             "per-stage overlap report)")
+                             "worker-side; 'pipelined' and "
+                             "'process_pipelined' add the per-stage "
+                             "overlap report)")
     parser.add_argument("--trainers", type=int, nargs="+",
                         default=(1, 2, 4),
                         help="trainer replica counts for live sweeps")

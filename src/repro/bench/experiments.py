@@ -236,13 +236,15 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
     moves neighbor sampling into the workers (independent per-worker
     RNG streams), so the sample stage parallelizes too instead of
     serializing in the parent. The ``"pipelined"`` backend overlaps
-    the producer stages with training instead; its rows carry the
-    per-stage overlap report (adaptive look-ahead range plus buffer
-    high-water / mean occupancy per stage) in the ``overlap`` column.
+    the producer stages with training instead; ``"process_pipelined"``
+    composes both (look-ahead shard dealing + worker-local stage
+    overlap). Overlapped backends' rows carry the per-stage overlap
+    report (adaptive look-ahead range plus buffer high-water / mean
+    occupancy per stage) in the ``overlap`` column.
 
     Requires a live backend exposing ``run(iterations)`` and a
     ``wall_time_s`` report field (``"threaded"``, ``"process"``,
-    ``"pipelined"``).
+    ``"process_sampling"``, ``"pipelined"``, ``"process_pipelined"``).
     """
     from ..config import SystemConfig
     from ..errors import ConfigError
@@ -290,9 +292,10 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
         "shared-memory feature store; process_sampling = workers also "
         "sample locally from per-worker RNG streams; threaded = "
         "GIL-bound reference; pipelined = overlapped "
-        "sample/gather/transfer stage threads (overlap column: "
-        "adaptive depth range | per-stage items, buffer high-water, "
-        "mean occupancy)")
+        "sample/gather/transfer stage threads; process_pipelined = "
+        "the fusion: look-ahead shard dealing + worker-local stage "
+        "overlap (overlap column: adaptive depth range | per-stage "
+        "items, buffer high-water, mean occupancy)")
     return res
 
 

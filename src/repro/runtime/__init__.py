@@ -28,18 +28,25 @@ This package is the paper's primary contribution (§III-§IV):
   NumPy training), ``get_backend("process_sampling")`` returns
   :class:`ProcessSamplingBackend` (workers that additionally run the
   sample stage locally from independent per-worker RNG streams — the
-  parent deals plan shards and adjudicates DRM), and
+  parent deals plan shards and adjudicates DRM),
   ``get_backend("pipelined")`` returns
   :class:`PipelinedBackend` (overlapped per-trainer
   sample → gather → transfer stage threads with an adaptive,
   perf-model-driven look-ahead — the paper's §IV-B prefetch made
-  live). All execute the *same* plan and session, so hybrid
+  live), and ``get_backend("process_pipelined")`` returns
+  :class:`ProcessPipelinedBackend` (the fusion of the last two: the
+  parent deals plan shards *ahead* through a bounded adaptive
+  look-ahead window while each worker overlaps its local
+  sample → gather → transfer chain with train+sync on stage threads —
+  process parallelism and stage overlap composed). All execute the
+  *same* plan and session, so hybrid
   split, DRM, prefetch and transfer quantization behave identically on
-  each; new executors (multi-node, process × pipeline fusion) join via
+  each; new executors (e.g. multi-node sharding) join via
   :func:`register_backend` without touching the core and inherit the
   tiered conformance suite
   (``tests/integration/backend_conformance.py``) at the tier their
-  ``conformance_tier`` capability flag declares;
+  ``conformance_tier`` capability flag declares — the full backend-
+  author guide lives in ``docs/backends.md``;
 * :mod:`repro.runtime.shm` — :class:`SharedFeatureStore`, the
   single-segment shared-memory mapping of the dataset's features,
   labels and CSR topology that process workers gather from zero-copy;
@@ -57,6 +64,7 @@ from .drm import DRMDecision, DRMEngine
 from .core import BatchPlan, PlannedIteration, TrainingSession
 from .shm import (
     SharedFeatureStore,
+    SharedPrefetchSpec,
     SharedSamplerSpec,
     SharedStoreManifest,
 )
@@ -64,6 +72,7 @@ from .backends import (
     BACKENDS,
     ExecutionBackend,
     PipelinedBackend,
+    ProcessPipelinedBackend,
     ProcessPoolBackend,
     ProcessSamplingBackend,
     ThreadedBackend,
@@ -78,6 +87,10 @@ from .backends.process_pool import ProcessReport
 from .backends.process_sampling import ProcessSamplingReport
 from .backends.pipelined import PipelinedReport, StageStats, \
     adaptive_depth
+from .backends.process_pipelined import (
+    LookaheadDealer,
+    ProcessPipelinedReport,
+)
 from .hybrid import HyScaleGNN
 from .executor import ThreadedExecutor
 
@@ -101,12 +114,16 @@ __all__ = [
     "ProcessPoolBackend",
     "ProcessSamplingBackend",
     "PipelinedBackend",
+    "ProcessPipelinedBackend",
     "ProcessReport",
     "ProcessSamplingReport",
     "PipelinedReport",
+    "ProcessPipelinedReport",
+    "LookaheadDealer",
     "StageStats",
     "adaptive_depth",
     "SharedFeatureStore",
+    "SharedPrefetchSpec",
     "SharedSamplerSpec",
     "SharedStoreManifest",
     "BACKENDS",

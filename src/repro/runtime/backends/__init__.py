@@ -2,7 +2,7 @@
 
 A backend realizes the training protocol of a
 :class:`~repro.runtime.core.TrainingSession` on a concrete execution
-substrate. Four ship with the library:
+substrate. Six ship with the library:
 
 * ``"virtual"`` — :class:`VirtualTimeBackend`: sequential execution with
   modelled-hardware (virtual-time) accounting; the paper-figure plane.
@@ -22,6 +22,13 @@ substrate. Four ship with the library:
   the shared CSR, each with an independent ``SeedSequence``-derived
   RNG stream; the parent deals only target-id shards of the plan and
   keeps adjudicating DRM — the last lock-step stage made parallel.
+* ``"process_pipelined"`` — :class:`ProcessPipelinedBackend`: the
+  **fusion** of the two statistical planes. The parent deals plan
+  shards *ahead* through a bounded, adaptively-sized look-ahead
+  window; each worker overlaps its local sample → gather → quantized
+  transfer chain with train+sync on ``PrefetchBuffer``-backed stage
+  threads over the shared store — process-level parallelism *and*
+  per-worker stage overlap at once (paper §IV composed).
 
 All consume the same :class:`~repro.runtime.core.BatchPlan` and session,
 so every feature flag — hybrid CPU+accelerator split, DRM, two-stage
@@ -30,12 +37,14 @@ on each; ``tests/integration/backend_conformance.py`` holds every
 registered backend (third-party ones included) to the conformance tier
 its :attr:`~ExecutionBackend.conformance_tier` flag declares: ``strict``
 backends must match the virtual reference bit for bit, ``statistical``
-backends (the pipelined plane, whose stages overlap out of lock-step;
-the worker-sampling plane, whose workers draw from independent RNG
-streams) must preserve exact epoch coverage, per-worker shard
-disjointness, work conservation and loss/parameter closeness. Future
-executors (multi-node sharding, process × pipeline fusion) plug in
-through :func:`register_backend` and inherit the right tier for free.
+backends (pipelined, process_sampling and process_pipelined — whose
+overlap or per-worker RNG streams preclude bit-parity by design) must
+preserve exact epoch coverage, per-worker shard disjointness, work
+conservation and loss/parameter closeness. Future executors
+(multi-node sharding) plug in through :func:`register_backend` and
+inherit the right tier for free. The full author guide — stage hooks,
+tiers, shm manifest, worker RNG streams, registration — lives in
+``docs/backends.md``.
 """
 
 from __future__ import annotations
@@ -54,6 +63,11 @@ from .pipelined import (
     PipelinedReport,
     StageStats,
     adaptive_depth,
+)
+from .process_pipelined import (
+    LookaheadDealer,
+    ProcessPipelinedBackend,
+    ProcessPipelinedReport,
 )
 
 #: name -> backend class. Mutated only through :func:`register_backend`.
@@ -94,6 +108,7 @@ register_backend(ThreadedBackend)
 register_backend(ProcessPoolBackend)
 register_backend(ProcessSamplingBackend)
 register_backend(PipelinedBackend)
+register_backend(ProcessPipelinedBackend)
 
 __all__ = [
     "ExecutionBackend",
@@ -102,11 +117,14 @@ __all__ = [
     "ProcessPoolBackend",
     "ProcessSamplingBackend",
     "PipelinedBackend",
+    "ProcessPipelinedBackend",
     "EpochReport",
     "ExecutorReport",
     "ProcessReport",
     "ProcessSamplingReport",
     "PipelinedReport",
+    "ProcessPipelinedReport",
+    "LookaheadDealer",
     "StageStats",
     "adaptive_depth",
     "BACKENDS",

@@ -48,6 +48,12 @@ DRM-trajectory shape and loss/parameter closeness instead of
 bit-parity. With a single trainer and no look-ahead-sensitive state the
 stream order is the plan order, so the single-trainer case **is**
 bit-identical — pinned by the conformance suite.
+
+This plane's overlap runs on threads under the GIL; the fused plane
+(:mod:`.process_pipelined`) reuses its :func:`adaptive_depth` policy
+and :class:`StageStats` reporting to run the same overlap *inside*
+GIL-free worker processes. The tier contract both planes share is
+documented in ``docs/backends.md``.
 """
 
 from __future__ import annotations
@@ -68,6 +74,31 @@ from .base import ExecutionBackend
 
 #: Producer stages in pipeline order (the train stage consumes).
 PRODUCER_STAGES = ("sample", "gather", "transfer")
+
+
+def resolve_depths(session, initial_depth: int | None,
+                   max_depth: int | None) -> tuple[int, int]:
+    """Resolve an overlapped backend's ``(initial_depth, max_depth)``.
+
+    The single depth-construction policy both overlapped planes
+    (threaded pipeline, fused process pipeline) share: the initial
+    depth defaults to the session's ``prefetch_depth`` when two-stage
+    prefetching is on (else 1 — lock-step, matching the serialized
+    ablation presets); the cap defaults to 8 or the initial depth,
+    whichever is larger, so default construction is valid for *any*
+    session; an explicitly-passed cap below the initial depth still
+    fails loudly.
+    """
+    if initial_depth is None:
+        initial_depth = session.sys_cfg.prefetch_depth \
+            if session.sys_cfg.prefetch else 1
+    if initial_depth < 1:
+        raise ProtocolError("prefetch depth must be >= 1")
+    if max_depth is None:
+        max_depth = max(8, initial_depth)
+    if max_depth < initial_depth:
+        raise ProtocolError("max_depth must be >= initial depth")
+    return initial_depth, max_depth
 
 
 def adaptive_depth(times: StageTimes, cap: int, floor: int = 1) -> int:
@@ -115,6 +146,33 @@ class StageStats:
                 f"hw={self.high_water} occ={self.mean_occupancy:.2f}")
 
 
+def fold_stage_stats(stage: str,
+                     entries: list[tuple[int, int, float]]
+                     ) -> StageStats:
+    """Aggregate per-buffer ``(items, high_water, mean_occupancy)``
+    entries into one stage's :class:`StageStats` (items summed,
+    high-water maxed, occupancy averaged). Shared by the pipelined
+    plane (folding over its in-process buffers) and the fused process
+    plane (folding over per-worker accounting shipped back over the
+    pipes), so the overlap report can never diverge between them."""
+    return StageStats(
+        stage=stage,
+        items=sum(e[0] for e in entries),
+        high_water=max(e[1] for e in entries),
+        mean_occupancy=float(np.mean([e[2] for e in entries])))
+
+
+def summarize_overlap(stage_stats: dict[str, StageStats],
+                      depth_history: list[tuple[int, int]]) -> str:
+    """One-line per-stage overlap report for benches/logs — the single
+    formatter behind every overlapped report's ``overlap_summary()``
+    (the wall-clock bench renders it in the ``overlap`` column)."""
+    stats = " | ".join(s.describe() for s in stage_stats.values())
+    depths = [d for _, d in depth_history]
+    rng = f"{min(depths)}-{max(depths)}" if depths else "static"
+    return f"depth={rng} | {stats}"
+
+
 @dataclass
 class PipelinedReport:
     """Outcome of a pipelined run.
@@ -144,11 +202,7 @@ class PipelinedReport:
 
     def overlap_summary(self) -> str:
         """One-line per-stage overlap report for benches/logs."""
-        stats = " | ".join(s.describe()
-                           for s in self.stage_stats.values())
-        depths = [d for _, d in self.depth_history]
-        rng = f"{min(depths)}-{max(depths)}" if depths else "static"
-        return f"depth={rng} | {stats}"
+        return summarize_overlap(self.stage_stats, self.depth_history)
 
 
 class PipelinedBackend(ExecutionBackend):
@@ -166,7 +220,11 @@ class PipelinedBackend(ExecutionBackend):
         else 1 — minimal in-flight work, matching the serialized
         ablation presets).
     max_depth:
-        Hard cap the adaptive policy can never exceed.
+        Hard cap the adaptive policy can never exceed. Defaults to 8
+        or the initial depth, whichever is larger — default
+        construction is valid for *any* session, however deep its
+        configured ``prefetch_depth``; an explicitly-passed cap below
+        the initial depth still fails loudly.
     timeout_s:
         Watchdog (a monotonic deadline) on every blocking stage handoff
         — a wedged pipeline fails fast instead of hanging the suite.
@@ -176,19 +234,13 @@ class PipelinedBackend(ExecutionBackend):
     conformance_tier = "statistical"
 
     def __init__(self, session, initial_depth: int | None = None,
-                 max_depth: int = 8, timeout_s: float = 60.0) -> None:
+                 max_depth: int | None = None,
+                 timeout_s: float = 60.0) -> None:
         super().__init__(session)
-        if initial_depth is None:
-            initial_depth = session.sys_cfg.prefetch_depth \
-                if session.sys_cfg.prefetch else 1
-        if initial_depth < 1:
-            raise ProtocolError("prefetch depth must be >= 1")
-        if max_depth < initial_depth:
-            raise ProtocolError("max_depth must be >= initial depth")
+        self.initial_depth, self.max_depth = resolve_depths(
+            session, initial_depth, max_depth)
         if timeout_s <= 0:
             raise ProtocolError("timeout_s must be positive")
-        self.initial_depth = initial_depth
-        self.max_depth = max_depth
         self.timeout_s = timeout_s
 
     # ------------------------------------------------------------------
@@ -417,11 +469,8 @@ class PipelinedBackend(ExecutionBackend):
     def _aggregate_stage_stats(self, bufs, report) -> None:
         """Fold per-buffer accounting into the per-stage overlap report."""
         for stage, stage_bufs in bufs.items():
-            report.stage_stats[stage] = StageStats(
-                stage=stage,
-                items=sum(b.total_puts for b in stage_bufs),
-                high_water=max(b.high_water for b in stage_bufs),
-                mean_occupancy=float(np.mean(
-                    [b.mean_occupancy for b in stage_bufs])))
+            report.stage_stats[stage] = fold_stage_stats(
+                stage, [(b.total_puts, b.high_water, b.mean_occupancy)
+                        for b in stage_bufs])
         report.prefetch_high_water = max(
             st.high_water for st in report.stage_stats.values())

@@ -1,0 +1,558 @@
+"""Fused process × pipeline backend: worker-local overlapped execution.
+
+HyScale-GNN's core scalability claim (paper §IV) is that multi-process
+execution and multi-stage prefetch overlap *compose* on a single node:
+every CPU core samples and loads while every trainer trains. The repo's
+two statistical-tier planes each realize one half — the
+worker-sampling plane (:mod:`.process_sampling`) parallelizes the
+sample stage across processes but resolves iterations lock-step; the
+pipelined plane (:mod:`.pipelined`) overlaps the producer chain with
+training but only on threads under the GIL. This backend fuses them,
+the PaGraph/DistDGL-style per-trainer pipeline recipe:
+
+* the **parent** deals target-id shards **ahead** through a bounded
+  per-worker queue: a :class:`LookaheadDealer` keeps up to ``depth``
+  iterations in flight (dealt but not yet synchronized), where
+  ``depth`` is resized live by the same
+  :func:`~repro.runtime.backends.pipelined.adaptive_depth`
+  producer/consumer ratio logic the pipelined plane uses — deep
+  look-ahead only while the sample/gather/transfer chain is the
+  bottleneck. The parent still adjudicates every DRM decision
+  (:meth:`~repro.runtime.core.TrainingSession.timing_step` on the
+  workers' realized batch statistics) and still runs the per-iteration
+  all-reduce barrier — only *dealing* runs ahead;
+* each **worker** overlaps its local ``sample → gather → quantized
+  transfer`` chain with its ``train + sync`` stage:
+  :class:`~repro.runtime.prefetch.PrefetchBuffer`-backed stage threads
+  over the shared-memory store (CSR topology, features, labels mapped
+  zero-copy; the :class:`~repro.runtime.shm.SharedPrefetchSpec` in the
+  manifest sizes the buffers), with the same independent
+  ``SeedSequence``-derived sampler stream per worker as the
+  worker-sampling plane. While the train stage of iteration ``i``
+  runs (and waits for ``i``'s averaged gradients), the stage threads
+  prepare iterations ``i+1 … i+depth`` — overlap *and* GIL-free
+  process parallelism at once.
+
+**DRM lag.** Shards for the in-flight window are sliced from the
+:class:`~repro.runtime.core.BatchPlan` with the workload split current
+*at deal time*, so an Algorithm-1 adjustment takes effect only once the
+window has drained past the shards already dealt — the same
+one-window lag the pipelined plane's dispatcher already accepts (and
+the tiered kit's work-conservation assertion covers: every dealt
+iteration still carries the full target budget). With ``max_depth=1``
+the window degenerates to lock-step dealing and this backend is
+bit-identical to :class:`ProcessSamplingBackend` — pinned by a
+regression test.
+
+Like its parent class, bit-parity with the virtual reference is
+impossible by design (per-worker RNG streams), so this backend declares
+``conformance_tier = "statistical"`` and passes the full tier —
+exact iteration count, exact epoch coverage, the per-worker
+shard-partition assertion (via the inherited ``worker_targets``
+echoes), DRM work conservation, and loss/parameter closeness.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ...errors import ProtocolError, WorkerError
+from ..prefetch import PrefetchBuffer
+from .pipelined import (
+    PRODUCER_STAGES,
+    StageStats,
+    adaptive_depth,
+    fold_stage_stats,
+    resolve_depths,
+    summarize_overlap,
+)
+from .process_pool import _WorkerSpec, _run_worker
+from .process_sampling import (
+    ProcessSamplingBackend,
+    ProcessSamplingReport,
+    _setup_worker_sampling,
+)
+
+#: Worker-local buffer names, keyed by the stage each buffer feeds
+#: (mirrors the pipelined plane's layout: ``sample`` holds dealt
+#: shards awaiting the sample thread, ``train`` holds prepared
+#: batches awaiting the train+sync consumer).
+WORKER_STAGES = (*PRODUCER_STAGES, "train")
+
+
+# ---------------------------------------------------------------------------
+# The bounded look-ahead window (pure — hypothesis-testable)
+# ---------------------------------------------------------------------------
+
+class LookaheadDealer:
+    """A bounded look-ahead window over a plan iterator.
+
+    Pure sequencing logic, extracted from the parent's drive loop so
+    the look-ahead invariants are directly property-testable without
+    live workers:
+
+    * :meth:`refill` deals planned iterations until the window holds
+      ``depth`` in-flight entries (or the plan is dry) and returns the
+      newly dealt ones, in plan order;
+    * :meth:`retire` pops the oldest in-flight iteration — the one the
+      caller synchronizes next;
+    * :meth:`set_depth` resizes the window live (the adaptive policy);
+      shrinking never revokes shards already dealt, it only throttles
+      future refills — exactly like
+      :meth:`~repro.runtime.prefetch.PrefetchBuffer.resize`.
+
+    Because dealing only ever *advances* the plan iterator, the
+    concatenation of dealt shards is the plan's own sequence — look-
+    ahead changes *when* shards are dealt, never *which* or in what
+    order, so epoch coverage stays a plan property (the hypothesis
+    suite pins this).
+    """
+
+    def __init__(self, plan_iter: Iterator, depth: int) -> None:
+        if depth < 1:
+            raise ProtocolError("look-ahead depth must be >= 1")
+        self._plan_iter = plan_iter
+        self._depth = depth
+        self._window: deque = deque()
+        self._dry = False
+        #: Max in-flight count ever observed (the bounded-queue audit).
+        self.high_water = 0
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._window)
+
+    def set_depth(self, depth: int) -> None:
+        if depth < 1:
+            raise ProtocolError("look-ahead depth must be >= 1")
+        self._depth = depth
+
+    def refill(self) -> list:
+        """Deal up to the window bound; returns the newly dealt
+        ``(iteration, planned)`` pairs in plan order."""
+        dealt = []
+        while not self._dry and len(self._window) < self._depth:
+            nxt = next(self._plan_iter, None)
+            if nxt is None:
+                self._dry = True
+                break
+            self._window.append(nxt)
+            dealt.append(nxt)
+        self.high_water = max(self.high_water, len(self._window))
+        return dealt
+
+    def retire(self):
+        """Pop the oldest in-flight iteration, or ``None`` when both
+        the window and the plan are exhausted."""
+        if not self._window:
+            return None
+        return self._window.popleft()
+
+
+# ---------------------------------------------------------------------------
+# Worker process: receive-routing + stage threads
+# ---------------------------------------------------------------------------
+
+def _serve_overlapped(conn, replica, spec: _WorkerSpec,
+                      handle_train) -> None:
+    """The fused worker's message loop: route + overlap.
+
+    The main thread is the **receive router**: it drains the pipe and
+    routes ``train`` shards into the sample buffer and ``apply``
+    updates into the apply queue — it never blocks on pipeline work, so
+    the parent's dealt-ahead messages and the averaged-gradient
+    broadcasts always keep flowing. Four daemon threads realize the
+    overlap:
+
+    * **sample** — this worker's private, independently-seeded sampler
+      over the shared CSR (no lock: one stream, one thread);
+    * **gather** — host-DDR feature row gather against the shm mapping;
+    * **transfer** — the PCIe quantization policy + label gather;
+    * **train+sync** — consumes prepared batches in iteration order,
+      trains, sends the result, then *waits for that iteration's
+      averaged update* before stepping — gradient math stays
+      synchronous SGD while the producer threads run ahead.
+
+    ``handle_train`` is unused (the stage threads replace the one-shot
+    handler); the parameter keeps the shared ``_run_worker``
+    scaffolding signature.
+    """
+    from ..core import apply_transfer_policy, gather_feature_rows
+
+    pf = replica.prefetch
+    timeout = pf.timeout_s
+    bufs = {stage: PrefetchBuffer(pf.capacity)
+            for stage in WORKER_STAGES}
+    # Applies match dealt items 1:1 (idle iterations are dealt as
+    # pass-through shards), but the just-retired iteration's apply
+    # can arrive while the window behind it is still fully dealt —
+    # hence window capacity + 1 headroom.
+    q_apply = PrefetchBuffer(pf.capacity + 1)
+    send_lock = threading.Lock()
+    error: dict = {"exc": None}
+
+    def safe_send(msg) -> None:
+        with send_lock:
+            conn.send(msg)
+
+    def fail(exc: BaseException) -> None:
+        if error["exc"] is None:
+            error["exc"] = exc
+            try:
+                safe_send(("error", traceback.format_exc()))
+            except Exception:
+                pass
+        for b in (*bufs.values(), q_apply):
+            b.close()
+
+    def sample_worker() -> None:
+        try:
+            while True:
+                item = bufs["sample"].get(timeout=timeout)
+                if item is None:
+                    bufs["gather"].close()
+                    return
+                it, targets = item
+                if targets is None:
+                    out = (it, None, None, None)
+                else:
+                    mb = replica.sampler.sample(targets)
+                    out = (it, mb, mb.stats(), np.asarray(mb.targets))
+                bufs["gather"].put(out, timeout=timeout)
+        except BaseException as exc:
+            fail(exc)
+
+    def gather_worker() -> None:
+        try:
+            while True:
+                item = bufs["gather"].get(timeout=timeout)
+                if item is None:
+                    bufs["transfer"].close()
+                    return
+                it, mb, st, echoed = item
+                x0 = gather_feature_rows(replica.features, mb) \
+                    if mb is not None else None
+                bufs["transfer"].put((it, mb, st, echoed, x0),
+                                     timeout=timeout)
+        except BaseException as exc:
+            fail(exc)
+
+    def transfer_worker() -> None:
+        try:
+            while True:
+                item = bufs["transfer"].get(timeout=timeout)
+                if item is None:
+                    bufs["train"].close()
+                    return
+                it, mb, st, echoed, x0 = item
+                labels = None
+                if mb is not None:
+                    x0 = apply_transfer_policy(
+                        x0, spec.kind, spec.transfer_precision)
+                    labels = replica.labels[mb.targets]
+                bufs["train"].put((it, mb, st, echoed, x0, labels),
+                                  timeout=timeout)
+        except BaseException as exc:
+            fail(exc)
+
+    def train_consumer() -> None:
+        try:
+            while True:
+                item = bufs["train"].get(timeout=timeout)
+                if item is None:
+                    return
+                it, mb, st, echoed, x0, labels = item
+                if mb is not None:
+                    rep = replica.node.train_minibatch(
+                        mb, x0, labels, replica.degrees)
+                    safe_send(("result", it, rep.loss, rep.accuracy,
+                               st, echoed,
+                               replica.model.get_flat_grads()))
+                # The per-iteration barrier: wait for this iteration's
+                # averaged gradients (idle iterations included), then
+                # mirror the parent's SGD step — replicas stay
+                # bit-equal while the producer threads run ahead.
+                a = q_apply.get(timeout=timeout)
+                if a is None:
+                    return
+                ait, avg = a
+                if ait != it:
+                    raise ProtocolError(
+                        f"worker {spec.index} received apply for "
+                        f"iteration {ait}, expected {it}")
+                replica.model.set_flat_grads(avg)
+                replica.opt.step()
+        except BaseException as exc:
+            fail(exc)
+
+    threads = [
+        threading.Thread(target=sample_worker, daemon=True,
+                         name=f"wpipe-sample{spec.index}"),
+        threading.Thread(target=gather_worker, daemon=True,
+                         name=f"wpipe-gather{spec.index}"),
+        threading.Thread(target=transfer_worker, daemon=True,
+                         name=f"wpipe-transfer{spec.index}"),
+        threading.Thread(target=train_consumer, daemon=True,
+                         name=f"wpipe-train{spec.index}"),
+    ]
+
+    def drain() -> None:
+        """Join the pipeline (the parent's ``end`` already closed the
+        stream) so post-stream replies never race a stage thread."""
+        for t in threads:
+            t.join(timeout=timeout)
+
+    conn.send(("ready", spec.index))
+    for t in threads:
+        t.start()
+    try:
+        while True:
+            msg = conn.recv()
+            tag = msg[0]
+            if tag == "train":
+                bufs["sample"].put((msg[1], msg[2]), timeout=timeout)
+            elif tag == "apply":
+                q_apply.put((msg[1], msg[2]), timeout=timeout)
+            elif tag == "init":
+                # Arrives before any shard is dealt; no work is in
+                # flight, so the replica is safe to overwrite.
+                replica.model.set_flat_params(msg[1])
+            elif tag == "end":
+                bufs["sample"].close()
+            elif tag == "stats":
+                drain()
+                safe_send(("stats",
+                           {stage: (b.total_puts, b.high_water,
+                                    b.mean_occupancy)
+                            for stage, b in bufs.items()}))
+            elif tag == "params":
+                drain()
+                safe_send(("params", replica.model.get_flat_params()))
+            elif tag == "stop":
+                return
+            else:
+                raise ProtocolError(f"unknown message tag {tag!r}")
+    finally:
+        for b in (*bufs.values(), q_apply):
+            b.close()
+        for t in threads:
+            t.join(timeout=timeout)
+
+
+def _setup_overlapped(store, spec: _WorkerSpec):
+    replica, _ = _setup_worker_sampling(store, spec)
+    replica.prefetch = store.manifest.prefetch
+    if replica.prefetch is None:
+        raise ProtocolError(
+            "shared store carries no prefetch spec: the fused plane's "
+            "workers need their stage-buffer capacity from the "
+            "manifest")
+    return replica, None
+
+
+def _worker_main(conn, manifest, spec: _WorkerSpec) -> None:
+    """One fused trainer replica (module-level: picklable under
+    ``spawn``): worker-side sampling plus the overlapped serve loop."""
+    _run_worker(conn, manifest, spec, _setup_overlapped,
+                serve=_serve_overlapped)
+
+
+# ---------------------------------------------------------------------------
+# Parent-side backend
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ProcessPipelinedReport(ProcessSamplingReport):
+    """A :class:`ProcessSamplingReport` plus the fused plane's overlap
+    observability.
+
+    ``stage_stats`` aggregates every worker's stage-buffer accounting
+    (items through, high-water, mean occupancy — same shape as the
+    pipelined plane's per-stage overlap report); ``depth_history`` is
+    the adaptive look-ahead trajectory ``(iteration, depth)``;
+    ``lookahead_history[i]`` records ``(in_flight, depth)`` at the
+    moment iteration ``i`` was retired for synchronization — the
+    bounded-queue audit trail: ``in_flight <= max_depth`` always
+    (pinned by tests), though after an adaptive *shrink* ``in_flight``
+    may transiently exceed the new ``depth`` while the window drains
+    (shrinking never revokes dealt shards, exactly like
+    ``PrefetchBuffer.resize``); ``dealt_sizes[i]`` is iteration
+    ``i``'s per-trainer batch sizes *as dealt* — under look-ahead
+    these lag DRM adjustments by the window size (the DRM-lag
+    regression test keys off this).
+    """
+
+    stage_stats: dict[str, StageStats] = field(default_factory=dict)
+    depth_history: list[tuple[int, int]] = field(default_factory=list)
+    lookahead_history: list[tuple[int, int]] = \
+        field(default_factory=list)
+    dealt_sizes: list[tuple[int, ...]] = field(default_factory=list)
+    prefetch_high_water: int = 0
+
+    def overlap_summary(self) -> str:
+        """One-line per-stage overlap report for benches/logs."""
+        return summarize_overlap(self.stage_stats, self.depth_history)
+
+
+class ProcessPipelinedBackend(ProcessSamplingBackend):
+    """Worker processes that sample their own mini-batches *and*
+    overlap the producer chain with training — the fused plane.
+
+    Parameters
+    ----------
+    session:
+        The shared runtime core. Timing-plane sessions drive the
+        adaptive look-ahead from modelled stage times; functional-only
+        sessions deal at a fixed depth.
+    timeout_s / mp_context:
+        As :class:`~repro.runtime.backends.process_pool.ProcessPoolBackend`.
+    initial_depth:
+        Look-ahead the dealer starts with (defaults to the session's
+        ``prefetch_depth`` when two-stage prefetching is on, else 1 —
+        lock-step dealing, matching the serialized ablation presets).
+    max_depth:
+        Hard cap the adaptive policy can never exceed; also sizes each
+        worker's stage buffers (via the manifest's
+        :class:`~repro.runtime.shm.SharedPrefetchSpec`), so a worker's
+        receive loop can always enqueue a dealt shard without blocking
+        the pipe. Defaults to 8 or the initial depth, whichever is
+        larger — default construction is valid for any session; an
+        explicitly-passed cap below the initial depth fails loudly.
+    """
+
+    name = "process_pipelined"
+    conformance_tier = "statistical"
+
+    def __init__(self, session, timeout_s: float = 120.0,
+                 mp_context: str | None = None,
+                 initial_depth: int | None = None,
+                 max_depth: int | None = None) -> None:
+        super().__init__(session, timeout_s=timeout_s,
+                         mp_context=mp_context)
+        self.initial_depth, self.max_depth = resolve_depths(
+            session, initial_depth, max_depth)
+
+    # -- subclass hooks ------------------------------------------------
+    def _worker_entry(self):
+        return _worker_main
+
+    def _create_store(self):
+        from ..shm import SharedFeatureStore, SharedPrefetchSpec
+        return SharedFeatureStore.create(
+            self.session.dataset,
+            sampler_spec=self.session.shared_sampler_spec(),
+            prefetch_spec=SharedPrefetchSpec(
+                capacity=self.max_depth, timeout_s=self.timeout_s))
+
+    def _make_report(self, iterations: int,
+                     n: int) -> ProcessPipelinedReport:
+        return ProcessPipelinedReport(iterations=iterations,
+                                      num_workers=n,
+                                      worker_targets=[[] for _ in
+                                                      range(n)])
+
+    # ------------------------------------------------------------------
+    def _drive(self, iterations: int, conns, report, rows) -> None:
+        """The look-ahead dealing loop.
+
+        Deal shards for up to ``depth`` iterations ahead through the
+        per-worker pipes, then retire the oldest in-flight iteration:
+        collect its results, run the shared sync tail (all-reduce,
+        broadcast, optimizer steps, timing/DRM — unchanged semantics),
+        and let the modelled stage times resize the window. Finally
+        close every worker's stream (``end``) and fold their stage
+        accounting into the overlap report.
+        """
+        s = self.session
+        n = s.num_trainers
+        depth = self.initial_depth
+        report.depth_history.append((0, depth))
+        dealer = LookaheadDealer(s.plan.iterate(iterations), depth)
+
+        def deal(pairs) -> None:
+            for it, planned in pairs:
+                report.dealt_sizes.append(planned.batch_sizes)
+                for idx in range(n):
+                    targets = planned.assignments[idx]
+                    if targets is not None:
+                        report.trained_targets.append(targets)
+                    # Idle iterations are dealt too (targets=None) so
+                    # every worker's pipeline carries one item per
+                    # iteration and applies stay strictly in order.
+                    self._send(conns, idx, ("train", it, targets))
+
+        deal(dealer.refill())
+        while True:
+            entry = dealer.retire()
+            if entry is None:
+                break
+            report.lookahead_history.append(
+                (dealer.in_flight + 1, dealer.depth))
+            it, planned = entry
+            stats_by_idx: dict[int, object] = {}
+            losses: list[float] = []
+            accs: list[float] = []
+            busy = [idx for idx in range(n)
+                    if planned.assignments[idx] is not None]
+            self._collect(it, busy, conns, report, stats_by_idx,
+                          losses, accs)
+            for idx in range(n):
+                if planned.assignments[idx] is None:
+                    # Idle replica: zero gradients, weight zero in the
+                    # all-reduce. Done at sync time (not deal time) so
+                    # a look-ahead deal can never clobber gradients of
+                    # an earlier, not-yet-reduced iteration.
+                    s.trainers[idx].model.zero_grad()
+            times = self._sync_tail(it, planned, conns, report, rows,
+                                    stats_by_idx, losses, accs)
+            if times is not None and s.sys_cfg.prefetch:
+                want = adaptive_depth(times, cap=self.max_depth)
+                if want != dealer.depth:
+                    dealer.set_depth(want)
+                    report.depth_history.append((it + 1, want))
+            deal(dealer.refill())
+
+    def _finalize(self, conns, report) -> None:
+        """Close every worker's stream and fold their stage accounting
+        into the overlap report. Runs after ``wall_time_s`` is stamped
+        (the :meth:`run` scaffolding), so the drain and the per-worker
+        stats round trips never inflate the measured training time the
+        wall-clock benches compare across backends."""
+        for idx in range(len(conns)):
+            self._send(conns, idx, ("end",))
+        self._collect_stage_stats(conns, report)
+
+    def _collect_stage_stats(self, conns, report) -> None:
+        """Gather every worker's stage-buffer accounting and aggregate
+        it into the per-stage overlap report (items summed, high-water
+        maxed, occupancy averaged across workers)."""
+        per_stage: dict[str, list[tuple]] = \
+            {stage: [] for stage in WORKER_STAGES}
+        for idx in range(len(conns)):
+            self._send(conns, idx, ("stats",))
+            msg = self._recv(conns, idx)
+            tag, payload = msg
+            if tag != "stats":
+                raise WorkerError(
+                    f"worker {idx} answered {tag!r} to a stats "
+                    "request")
+            for stage, row in payload.items():
+                per_stage[stage].append(row)
+        for stage, entries in per_stage.items():
+            if not entries:
+                continue
+            report.stage_stats[stage] = fold_stage_stats(stage,
+                                                         entries)
+        if report.stage_stats:
+            report.prefetch_high_water = max(
+                st.high_water for st in report.stage_stats.values())

@@ -184,18 +184,27 @@ def _serve(conn, replica: _WorkerReplica, spec: _WorkerSpec,
             raise ProtocolError(f"unknown message tag {tag!r}")
 
 
-def _run_worker(conn, manifest, spec: _WorkerSpec, setup) -> None:
+def _run_worker(conn, manifest, spec: _WorkerSpec, setup,
+                serve=None) -> None:
     """Worker-process scaffolding: attach the store, delegate to
     ``setup(store, spec) -> (replica, handle_train)``, serve, and tear
-    down (close-never-unlink) no matter how the loop ends."""
+    down (close-never-unlink) no matter how the loop ends.
+
+    ``serve`` is the message loop (default :func:`_serve`, the shared
+    lock-step request/response loop); the fused process × pipeline
+    plane swaps in its overlapped loop — receive-routing plus stage
+    threads — while inheriting the attach/teardown scaffolding here.
+    """
     store = None
     replica = None
+    if serve is None:
+        serve = _serve
     try:
         from ..shm import SharedFeatureStore
 
         store = SharedFeatureStore.attach(manifest)
         replica, handle_train = setup(store, spec)
-        _serve(conn, replica, spec, handle_train)
+        serve(conn, replica, spec, handle_train)
     except EOFError:
         pass                              # parent went away: just exit
     except BaseException:
@@ -336,10 +345,10 @@ class ProcessPoolBackend(ExecutionBackend):
             report.startup_time_s = time.perf_counter() - setup_start
             start = time.perf_counter()
 
-            for it, planned in s.plan.iterate(iterations):
-                self._run_iteration(it, planned, conns, report, rows)
+            self._drive(iterations, conns, report, rows)
             report.wall_time_s = time.perf_counter() - start
 
+            self._finalize(conns, report)
             report.replicas_consistent = self._check_parity(conns)
         finally:
             self._shutdown(conns, procs, store)
@@ -366,15 +375,30 @@ class ProcessPoolBackend(ExecutionBackend):
         return ProcessReport(iterations=iterations, num_workers=n)
 
     # ------------------------------------------------------------------
+    def _drive(self, iterations: int, conns, report, rows) -> None:
+        """Drive the synchronized training loop (between handshake and
+        parity audit). The default is the lock-step loop every
+        request/response process plane shares; the fused
+        process × pipeline plane overrides this with its bounded
+        look-ahead dealing loop while inheriting spawn / handshake /
+        parity audit / teardown from :meth:`run`."""
+        for it, planned in self.session.plan.iterate(iterations):
+            self._run_iteration(it, planned, conns, report, rows)
+
+    def _finalize(self, conns, report) -> None:
+        """Post-training hook, run *after* ``wall_time_s`` is stamped
+        and before the parity audit — accounting round trips here
+        (the fused plane drains worker pipelines and collects their
+        stage stats) never skew the measured training time that the
+        wall-clock benches compare across backends."""
+
     def _run_iteration(self, it: int, planned, conns, report,
                        rows) -> None:
         """One Fig.-5 iteration: scatter work (:meth:`_dispatch`),
-        gather gradients (:meth:`_collect`), then the shared tail —
-        all-reduce, broadcast the averaged update, optimizer steps,
-        timing/DRM bookkeeping — in exactly the virtual-plane order.
+        gather gradients (:meth:`_collect`), then the shared tail
+        (:meth:`_sync_tail`) in exactly the virtual-plane order.
         Subclasses override only the dispatch/collect halves; the sync
         tail (and therefore the trajectory semantics) exists once."""
-        s = self.session
         stats_by_idx: dict[int, object] = {}
         busy = self._dispatch(it, planned, conns, report, stats_by_idx)
 
@@ -382,7 +406,19 @@ class ProcessPoolBackend(ExecutionBackend):
         accs: list[float] = []
         self._collect(it, busy, conns, report, stats_by_idx, losses,
                       accs)
+        self._sync_tail(it, planned, conns, report, rows, stats_by_idx,
+                        losses, accs)
 
+    def _sync_tail(self, it: int, planned, conns, report, rows,
+                   stats_by_idx, losses, accs):
+        """The shared iteration tail: all-reduce, broadcast the
+        averaged update, optimizer steps, timing/DRM bookkeeping — in
+        exactly the virtual-plane order. Returns the modelled
+        :class:`StageTimes` when the session carries a timing plane
+        (the fused plane feeds them to its adaptive look-ahead), else
+        ``None``. This exists once, so the trajectory semantics can
+        never drift between process planes."""
+        s = self.session
         avg = s.synchronizer.all_reduce(list(planned.batch_sizes), it)
         report.protocol_log.record(it, Signal.SYNC, "synchronizer")
         for idx in range(len(conns)):
@@ -393,24 +429,25 @@ class ProcessPoolBackend(ExecutionBackend):
 
         report.losses.append(float(np.mean(losses)))
         report.accuracies.append(float(np.mean(accs)))
-        if s.has_timing:
-            # Realized batch stats in trainer order (idle trainers hold
-            # a None placeholder), then one timing/DRM step — the DRM
-            # engine is adjudicated here, in the parent, on every
-            # process plane.
-            stats_cpu = None
-            stats_accel: list = []
-            for idx, trainer in enumerate(s.trainers):
-                st = stats_by_idx.get(idx)
-                if trainer.kind == "cpu":
-                    stats_cpu = st
-                else:
-                    stats_accel.append(st)
-            times, row, split = s.timing_step(stats_cpu, stats_accel,
-                                              it)
-            rows.append(row)
-            report.stage_history.append(times)
-            report.split_history.append(split)
+        if not s.has_timing:
+            return None
+        # Realized batch stats in trainer order (idle trainers hold
+        # a None placeholder), then one timing/DRM step — the DRM
+        # engine is adjudicated here, in the parent, on every
+        # process plane.
+        stats_cpu = None
+        stats_accel: list = []
+        for idx, trainer in enumerate(s.trainers):
+            st = stats_by_idx.get(idx)
+            if trainer.kind == "cpu":
+                stats_cpu = st
+            else:
+                stats_accel.append(st)
+        times, row, split = s.timing_step(stats_cpu, stats_accel, it)
+        rows.append(row)
+        report.stage_history.append(times)
+        report.split_history.append(split)
+        return times
 
     def _dispatch(self, it: int, planned, conns, report,
                   stats_by_idx) -> list[int]:

@@ -44,7 +44,11 @@ per-worker shard disjointness (via :attr:`ProcessSamplingReport.worker_targets`)
 DRM work conservation and loss/parameter closeness. Iterations remain
 a synchronized barrier (unlike the pipelined plane there is no
 look-ahead), so the DRM engine still observes iteration ``i`` before
-``i + 1``'s quotas are read.
+``i + 1``'s quotas are read. The fused plane
+(:mod:`.process_pipelined`) lifts exactly that restriction: it
+subclasses this backend and adds bounded look-ahead dealing plus
+worker-local stage overlap. The backend-author contract both planes
+follow is documented in ``docs/backends.md``.
 """
 
 from __future__ import annotations
@@ -54,7 +58,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...errors import WorkerError
-from .base import ExecutionBackend  # noqa: F401 (re-export convenience)
 from .process_pool import (
     ProcessPoolBackend,
     ProcessReport,

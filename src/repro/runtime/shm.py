@@ -84,6 +84,26 @@ class SharedSamplerSpec:
 
 
 @dataclass(frozen=True)
+class SharedPrefetchSpec:
+    """Worker-local pipeline parameters for overlapped process planes
+    (picklable).
+
+    The fused process × pipeline backend overlaps each worker's local
+    sample → gather → transfer chain with its train+sync stage over
+    :class:`~repro.runtime.prefetch.PrefetchBuffer` queues. ``capacity``
+    sizes those stage buffers — it must be at least the parent's
+    maximum look-ahead depth, so the worker's receive loop can always
+    enqueue a dealt shard without blocking the pipe (a blocked receive
+    loop could never see the ``apply`` that would drain it — the
+    classic pipeline deadlock). ``timeout_s`` is the stage-handoff
+    watchdog, mirroring the parent's cross-process watchdog.
+    """
+
+    capacity: int
+    timeout_s: float
+
+
+@dataclass(frozen=True)
 class SharedStoreManifest:
     """Everything a worker needs to map the store (picklable).
 
@@ -91,12 +111,15 @@ class SharedStoreManifest:
     runs worker-side neighbor sampling, the manifest carries the
     :class:`SharedSamplerSpec` the workers rebuild their samplers from
     (the topology itself travels in the segment as ``indptr`` /
-    ``indices`` / ``train_ids``).
+    ``indices`` / ``train_ids``). ``prefetch`` is optional worker-local
+    pipeline state: overlapped process planes carry a
+    :class:`SharedPrefetchSpec` sizing each worker's stage buffers.
     """
 
     segment: str
     arrays: tuple[SharedArraySpec, ...]
     sampler: SharedSamplerSpec | None = None
+    prefetch: SharedPrefetchSpec | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -135,7 +158,8 @@ class SharedFeatureStore:
     # ------------------------------------------------------------------
     @classmethod
     def create(cls, dataset,
-               sampler_spec: SharedSamplerSpec | None = None
+               sampler_spec: SharedSamplerSpec | None = None,
+               prefetch_spec: SharedPrefetchSpec | None = None
                ) -> "SharedFeatureStore":
         """Copy ``dataset``'s big arrays into a fresh shared segment.
 
@@ -144,7 +168,8 @@ class SharedFeatureStore:
         worker needs to gather inputs, evaluate the models' degree
         terms, *and* (with a ``sampler_spec``) rebuild the session's
         sampler family locally, without touching the parent's address
-        space.
+        space. A ``prefetch_spec`` additionally sizes the worker-local
+        stage buffers of overlapped process planes.
         """
         arrays = {
             "features": np.ascontiguousarray(dataset.features),
@@ -166,7 +191,8 @@ class SharedFeatureStore:
                                          size=max(1, offset))
         manifest = SharedStoreManifest(segment=shm.name,
                                        arrays=tuple(specs),
-                                       sampler=sampler_spec)
+                                       sampler=sampler_spec,
+                                       prefetch=prefetch_spec)
         store = cls(shm, manifest, owner=True)
         for spec in specs:
             store._views[spec.key][...] = arrays[spec.key]

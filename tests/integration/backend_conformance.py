@@ -67,6 +67,7 @@ BACKEND_KWARGS: dict[str, dict] = {
     "process": {"timeout_s": 120.0},
     "process_sampling": {"timeout_s": 120.0},
     "pipelined": {"timeout_s": 30.0},
+    "process_pipelined": {"timeout_s": 120.0},
 }
 
 #: Tolerances of the statistical tier. Overlapped backends train the

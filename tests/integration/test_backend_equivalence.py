@@ -33,6 +33,7 @@ from repro.runtime import (
     BACKENDS,
     HyScaleGNN,
     PipelinedBackend,
+    ProcessPipelinedBackend,
     ProcessPoolBackend,
     ProcessSamplingBackend,
     ThreadedBackend,
@@ -165,9 +166,19 @@ class TestProcessBackend:
             ProcessPoolBackend(session).run(0)
 
 
-class TestProcessSamplingBackend:
-    """Worker-side sampling specifics the generic tiered matrix cannot
-    see: shard partitioning, stream provenance, infra-error typing."""
+class TestWorkerSamplingPlanes:
+    """Properties shared by every worker-side-sampling plane (the
+    lock-step ``process_sampling`` backend and the overlapped
+    ``process_pipelined`` fusion), parametrized over both so a fix to
+    one assertion can never silently miss the sibling plane: shard
+    partitioning, seeded determinism, resume, epoch rollover, shm
+    teardown, and infra-error typing."""
+
+    @pytest.fixture(params=[ProcessSamplingBackend,
+                            ProcessPipelinedBackend],
+                    ids=["process_sampling", "process_pipelined"])
+    def backend_cls(self, request):
+        return request.param
 
     def _session(self, tiny_ds, eq_cfg, n=3):
         return TrainingSession(
@@ -175,11 +186,12 @@ class TestProcessSamplingBackend:
             SystemConfig(hybrid=True, drm=False, prefetch=True),
             num_trainers=n)
 
-    def test_worker_shards_partition_epoch(self, tiny_ds, eq_cfg):
+    def test_worker_shards_partition_epoch(self, backend_cls, tiny_ds,
+                                           eq_cfg):
         """Union of worker-trained targets == the epoch target set,
         with per-worker shards mutually disjoint (no double-training)."""
         session = self._session(tiny_ds, eq_cfg)
-        rep = ProcessSamplingBackend(session, timeout_s=60).run_epoch()
+        rep = backend_cls(session, timeout_s=60).run_epoch()
         assert len(rep.worker_targets) == session.num_trainers
         per_worker = [np.concatenate(ts) if ts else
                       np.empty(0, dtype=np.int64)
@@ -190,34 +202,26 @@ class TestProcessSamplingBackend:
                                       tiny_ds.train_ids)
         assert session.plan.epochs_started == 1
 
-    def test_deterministic_across_runs(self, tiny_ds, eq_cfg):
+    def test_deterministic_across_runs(self, backend_cls, tiny_ds,
+                                       eq_cfg):
         """Same seed/config ⇒ bit-identical losses and parameters run
-        to run — per-worker streams are seeded, not wall-clock."""
-        r1 = ProcessSamplingBackend(self._session(tiny_ds, eq_cfg),
-                                    timeout_s=60).run(3)
-        r2 = ProcessSamplingBackend(self._session(tiny_ds, eq_cfg),
-                                    timeout_s=60).run(3)
+        to run — per-worker streams are seeded, not wall-clock (and
+        overlap changes *when* work happens, never which draws are
+        made)."""
+        r1 = backend_cls(self._session(tiny_ds, eq_cfg),
+                         timeout_s=60).run(3)
+        r2 = backend_cls(self._session(tiny_ds, eq_cfg),
+                         timeout_s=60).run(3)
         np.testing.assert_array_equal(r1.losses, r2.losses)
         np.testing.assert_array_equal(r1.accuracies, r2.accuracies)
         assert r1.total_edges == r2.total_edges
 
-    def test_worker_draws_differ_from_parent_stream(self, tiny_ds,
-                                                    eq_cfg):
-        """The sampling genuinely moved: worker-side neighbor draws
-        come from per-worker streams, so sampled-edge totals differ
-        from the parent-sampled process plane (coverage still exact)."""
-        rp = ProcessPoolBackend(self._session(tiny_ds, eq_cfg),
-                                timeout_s=60).run(3)
-        rs = ProcessSamplingBackend(self._session(tiny_ds, eq_cfg),
-                                    timeout_s=60).run(3)
-        assert rs.total_edges != rp.total_edges
-
-    def test_resumed_session_keeps_training_same_replicas(self, tiny_ds,
-                                                          eq_cfg):
+    def test_resumed_session_keeps_training_same_replicas(
+            self, backend_cls, tiny_ds, eq_cfg):
         """Back-to-back run() calls continue from the trained weights
         (workers re-sync to the parent's current parameters)."""
         session = self._session(tiny_ds, eq_cfg, n=2)
-        backend = ProcessSamplingBackend(session, timeout_s=60)
+        backend = backend_cls(session, timeout_s=60)
         first = backend.run(2)
         params_after_first = [t.model.get_flat_params().copy()
                               for t in session.trainers]
@@ -228,24 +232,26 @@ class TestProcessSamplingBackend:
                                       t.model.get_flat_params())
         assert first.losses != second.losses
 
-    def test_long_runs_roll_into_fresh_epochs(self, tiny_ds, eq_cfg):
+    def test_long_runs_roll_into_fresh_epochs(self, backend_cls,
+                                              tiny_ds, eq_cfg):
         session = self._session(tiny_ds, eq_cfg, n=2)
         per_epoch = session.iterations_per_epoch()
-        rep = ProcessSamplingBackend(session, timeout_s=60).run(
-            per_epoch + 2)
+        rep = backend_cls(session, timeout_s=60).run(per_epoch + 2)
         assert len(rep.losses) == per_epoch + 2
         assert session.plan.epochs_started == 2
 
-    def test_clean_shared_memory_teardown(self, tiny_ds, eq_cfg):
+    def test_clean_shared_memory_teardown(self, backend_cls, tiny_ds,
+                                          eq_cfg):
         if not os.path.isdir("/dev/shm"):
             pytest.skip("no /dev/shm on this platform")
         pattern = "/dev/shm/repro_shm_*"
         before = set(glob.glob(pattern))
         session = self._session(tiny_ds, eq_cfg, n=2)
-        ProcessSamplingBackend(session, timeout_s=60).run(2)
+        backend_cls(session, timeout_s=60).run(2)
         assert set(glob.glob(pattern)) == before
 
-    def test_worker_failure_raises_typed_error(self, tiny_ds):
+    def test_worker_failure_raises_typed_error(self, backend_cls,
+                                               tiny_ds):
         """A crash inside a worker (here: an unknown sampler family at
         rebuild time) surfaces as the typed WorkerError — infra
         failures must be distinguishable from conformance failures in
@@ -257,15 +263,16 @@ class TestProcessSamplingBackend:
             register_sampler,
         )
 
+        family = f"ephemeral-{backend_cls.name}"
         register_sampler(
-            "ephemeral",
+            family,
             lambda graph, ids, c, fdim: NeighborSampler(
                 graph, ids, c.fanouts, fdim, seed=c.seed))
         try:
             cfg = TrainingConfig(model="sage", minibatch_size=32,
                                  fanouts=(4, 3), hidden_dim=16,
                                  learning_rate=0.05, seed=11,
-                                 sampler="ephemeral")
+                                 sampler=family)
             session = TrainingSession(
                 tiny_ds, cfg,
                 SystemConfig(hybrid=True, drm=False, prefetch=True),
@@ -274,9 +281,31 @@ class TestProcessSamplingBackend:
             # Deregister before the workers spawn: their registries
             # (rebuilt at import) never see the family, so the rebuild
             # fails inside the worker process.
-            SAMPLER_REGISTRY.pop("ephemeral", None)
+            SAMPLER_REGISTRY.pop(family, None)
         with pytest.raises(WorkerError):
-            ProcessSamplingBackend(session, timeout_s=60).run(2)
+            backend_cls(session, timeout_s=60).run(2)
+
+
+class TestProcessSamplingBackend:
+    """Worker-side-sampling specifics not shared with the fused plane
+    (the shared matrix lives in TestWorkerSamplingPlanes)."""
+
+    def _session(self, tiny_ds, eq_cfg, n=3):
+        return TrainingSession(
+            tiny_ds, eq_cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True),
+            num_trainers=n)
+
+    def test_worker_draws_differ_from_parent_stream(self, tiny_ds,
+                                                    eq_cfg):
+        """The sampling genuinely moved: worker-side neighbor draws
+        come from per-worker streams, so sampled-edge totals differ
+        from the parent-sampled process plane (coverage still exact)."""
+        rp = ProcessPoolBackend(self._session(tiny_ds, eq_cfg),
+                                timeout_s=60).run(3)
+        rs = ProcessSamplingBackend(self._session(tiny_ds, eq_cfg),
+                                    timeout_s=60).run(3)
+        assert rs.total_edges != rp.total_edges
 
 
 class TestPipelinedBackend:
@@ -395,6 +424,131 @@ class TestPipelinedBackend:
             PipelinedBackend(session, timeout_s=0)
         with pytest.raises(ProtocolError):
             PipelinedBackend(session).run(0)
+
+
+class TestProcessPipelinedBackend:
+    """Fused-plane specifics the generic tiered matrix cannot see:
+    look-ahead dealing bounds, DRM lag semantics, the degenerate
+    lock-step case, and the worker-side overlap report."""
+
+    def _session(self, tiny_ds, eq_cfg, n=3):
+        return TrainingSession(
+            tiny_ds, eq_cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True),
+            num_trainers=n)
+
+    def _platform_session(self, tiny_ds, eq_cfg, fpga_platform):
+        return TrainingSession(
+            tiny_ds, eq_cfg,
+            SystemConfig(hybrid=True, drm=True, prefetch=True,
+                         transfer_precision="int8"),
+            fpga_platform, profile_probes=2)
+
+    def test_depth_one_matches_worker_sampling_bit_for_bit(
+            self, tiny_ds, eq_cfg, fpga_platform):
+        """With ``max_depth=1`` the look-ahead window degenerates to
+        lock-step dealing: shards are dealt only after the previous
+        iteration's DRM step, so the fused plane must reproduce the
+        worker-sampling plane bit for bit — losses, DRM trajectory,
+        sampled edges, and every final parameter. This is the DRM-lag
+        regression pin's zero-lag anchor."""
+        ss = self._platform_session(tiny_ds, eq_cfg, fpga_platform)
+        rs = ProcessSamplingBackend(ss, timeout_s=60).run_epoch()
+
+        sf = self._platform_session(tiny_ds, eq_cfg, fpga_platform)
+        rf = ProcessPipelinedBackend(sf, timeout_s=60,
+                                     initial_depth=1,
+                                     max_depth=1).run_epoch()
+
+        assert rf.iterations == rs.iterations
+        np.testing.assert_array_equal(rs.losses, rf.losses)
+        np.testing.assert_array_equal(rs.accuracies, rf.accuracies)
+        assert rf.total_edges == rs.total_edges
+        assert rf.split_history == rs.split_history
+        assert rf.stage_history == rs.stage_history
+        for ts, tf in zip(ss.trainers, sf.trainers):
+            np.testing.assert_array_equal(ts.model.get_flat_params(),
+                                          tf.model.get_flat_params())
+
+    def test_drm_adjustments_lag_the_dealt_window(
+            self, tiny_ds, eq_cfg, fpga_platform):
+        """Shards in the prefilled window are sliced with the split
+        current at deal time: the first ``initial_depth`` iterations'
+        dealt sizes must equal what the plan yields with *no* DRM
+        adjustment applied — Algorithm 1 cannot reach work already
+        dealt (the pipelined plane's documented one-window lag)."""
+        depth = 3
+        sf = self._platform_session(tiny_ds, eq_cfg, fpga_platform)
+        assert sf.iterations_per_epoch() > depth
+        rf = ProcessPipelinedBackend(sf, timeout_s=60,
+                                     initial_depth=depth,
+                                     max_depth=depth).run_epoch()
+
+        # Reference: an identical session whose split is never
+        # adjusted (plan iterated directly, no backend, no DRM).
+        ref = self._platform_session(tiny_ds, eq_cfg, fpga_platform)
+        ref_sizes = []
+        for _, planned in ref.plan.iterate(depth):
+            ref_sizes.append(planned.batch_sizes)
+        assert rf.dealt_sizes[:depth] == ref_sizes
+        # Work conservation at deal time: every dealt iteration still
+        # carries the full target budget (tail iterations excepted).
+        total = sf.initial_split.total_targets
+        for sizes in rf.dealt_sizes[:-1]:
+            assert sum(sizes) == total
+
+    def test_lookahead_never_exceeds_adaptive_cap(self, tiny_ds,
+                                                  eq_cfg,
+                                                  fpga_platform):
+        """The bounded-queue audit: in-flight dealt iterations never
+        exceed ``max_depth``, the adaptive depth stays within
+        ``[1, max_depth]``, and no worker stage buffer ever held more
+        than the manifest capacity."""
+        cap = 4
+        sf = self._platform_session(tiny_ds, eq_cfg, fpga_platform)
+        backend = ProcessPipelinedBackend(sf, timeout_s=60,
+                                          initial_depth=2,
+                                          max_depth=cap)
+        rf = backend.run_epoch()
+        assert len(rf.lookahead_history) == rf.iterations
+        for in_flight, depth in rf.lookahead_history:
+            assert 1 <= in_flight <= cap
+            assert 1 <= depth <= cap
+        for _, depth in rf.depth_history:
+            assert 1 <= depth <= cap
+        for stats in rf.stage_stats.values():
+            assert stats.high_water <= cap
+
+    def test_overlap_report_covers_every_stage(self, tiny_ds, eq_cfg):
+        """Every iteration hands one item per worker through each
+        worker-local stage (idle iterations as pass-through markers),
+        and the aggregated report accounts for all of them."""
+        session = self._session(tiny_ds, eq_cfg)
+        rep = ProcessPipelinedBackend(session,
+                                      timeout_s=60).run_epoch()
+        n = session.num_trainers
+        assert set(rep.stage_stats) == {"sample", "gather", "transfer",
+                                        "train"}
+        for stats in rep.stage_stats.values():
+            assert stats.items == rep.iterations * n
+            assert stats.high_water >= 1
+            assert stats.mean_occupancy >= 0.0
+        assert rep.prefetch_high_water >= 1
+        assert rep.wall_time_s > 0
+        assert "depth=" in rep.overlap_summary()
+
+    def test_invalid_construction_rejected(self, tiny_ds, eq_cfg):
+        from repro.errors import ProtocolError
+        session = self._session(tiny_ds, eq_cfg, n=2)
+        with pytest.raises(ProtocolError):
+            ProcessPipelinedBackend(session, initial_depth=0)
+        with pytest.raises(ProtocolError):
+            ProcessPipelinedBackend(session, initial_depth=4,
+                                    max_depth=2)
+        with pytest.raises(ProtocolError):
+            ProcessPipelinedBackend(session, timeout_s=0)
+        with pytest.raises(ProtocolError):
+            ProcessPipelinedBackend(session).run(0)
 
 
 class TestHybridDRMQuantizedEquivalence:
@@ -550,6 +704,7 @@ class TestSamplerRegistry:
 class TestBackendRegistry:
     def test_builtin_backends_registered(self):
         assert available_backends() == ("pipelined", "process",
+                                        "process_pipelined",
                                         "process_sampling",
                                         "threaded", "virtual")
         assert get_backend("virtual") is VirtualTimeBackend
@@ -557,16 +712,19 @@ class TestBackendRegistry:
         assert get_backend("process") is ProcessPoolBackend
         assert get_backend("process_sampling") is ProcessSamplingBackend
         assert get_backend("pipelined") is PipelinedBackend
+        assert get_backend("process_pipelined") is \
+            ProcessPipelinedBackend
 
     def test_declared_conformance_tiers(self):
         """Lock-step backends are strict; the out-of-lock-step planes
-        (overlapped pipeline, per-worker sampler streams) are
-        statistical."""
+        (overlapped pipeline, per-worker sampler streams, and their
+        fusion) are statistical."""
         from backend_conformance import backend_tier
         assert backend_tier("threaded") == "strict"
         assert backend_tier("process") == "strict"
         assert backend_tier("pipelined") == "statistical"
         assert backend_tier("process_sampling") == "statistical"
+        assert backend_tier("process_pipelined") == "statistical"
 
     def test_unknown_tier_rejected(self):
         """A backend declaring a bogus tier fails loudly in the kit,

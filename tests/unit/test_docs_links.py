@@ -1,0 +1,93 @@
+"""Docs link check: no dead intra-repo links in the documentation.
+
+The docs tree (``docs/``) plus the top-level pages (README, ROADMAP)
+cross-link each other and point into the source tree. A rename that
+breaks one of those links would otherwise rot silently; this suite
+fails it in tier 1 (and in the dedicated CI docs job).
+
+Checked: every relative markdown link ``[text](target)`` whose target
+is not an external URL or pure in-page anchor must resolve to an
+existing file or directory, relative to the page that links it.
+External (``http(s)://``, ``mailto:``) links are out of scope — CI
+must not flake on the network.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+#: repo root (tests/unit/ -> tests/ -> root)
+ROOT = Path(__file__).resolve().parents[2]
+
+#: The markdown pages whose links are part of the repo's contract.
+PAGES = sorted(
+    [ROOT / "README.md", ROOT / "ROADMAP.md"]
+    + list((ROOT / "docs").glob("*.md"))
+    if (ROOT / "README.md").exists() else []
+)
+
+#: ``[text](target)`` — good enough for the plain markdown used here
+#: (no nested brackets, no reference-style links).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not intra-repo files.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Fenced code blocks may contain link-shaped content (shell
+    snippets, doctest output) that is not a hyperlink."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def _intra_repo_links(page: Path) -> list[str]:
+    text = _strip_code_blocks(page.read_text(encoding="utf-8"))
+    out = []
+    for target in _LINK_RE.findall(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        out.append(target)
+    return out
+
+
+def test_docs_tree_exists():
+    """The documented subsystem layout: architecture, backend-author
+    guide, and benchmark map pages must all exist."""
+    for name in ("architecture.md", "backends.md", "benchmarks.md"):
+        assert (ROOT / "docs" / name).is_file(), \
+            f"docs/{name} is missing"
+
+
+def test_readme_links_into_docs():
+    """The README is an overview that links into the docs tree."""
+    text = (ROOT / "README.md").read_text(encoding="utf-8")
+    for name in ("architecture.md", "backends.md", "benchmarks.md"):
+        assert f"docs/{name}" in text, \
+            f"README no longer links docs/{name}"
+
+
+@pytest.mark.parametrize("page", PAGES,
+                         ids=[str(p.relative_to(ROOT)) for p in PAGES])
+def test_no_dead_intra_repo_links(page: Path):
+    """Every relative link on every documentation page resolves."""
+    dead = []
+    for target in _intra_repo_links(page):
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (page.parent / path).resolve()
+        if not resolved.exists():
+            dead.append(target)
+    assert not dead, \
+        (f"{page.relative_to(ROOT)} has dead intra-repo links: {dead}")
+
+
+def test_pages_collected():
+    """Guard the guard: the parametrization saw the docs pages (an
+    empty glob would vacuously pass everything)."""
+    names = {p.name for p in PAGES}
+    assert {"README.md", "ROADMAP.md", "architecture.md",
+            "backends.md", "benchmarks.md"} <= names

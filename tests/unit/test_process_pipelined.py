@@ -1,0 +1,235 @@
+"""Fused-plane units: the bounded look-ahead dealer and its
+partition/bound invariants, plus the overlap report and the manifest's
+prefetch spec.
+
+The fused backend's correctness rests on sequencing logic that the
+integration matrix exercises but cannot isolate: the
+:class:`~repro.runtime.LookaheadDealer` window that deals plan shards
+ahead of synchronization. Its contract — dealing ahead changes *when*
+shards are dealt, never *which* or in what order, and the in-flight
+count never exceeds the adaptive cap — is pinned here as hypothesis
+properties over random quota/seed/depth schedules.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.runtime import LookaheadDealer
+from repro.runtime.backends.process_pipelined import (
+    ProcessPipelinedReport,
+    WORKER_STAGES,
+)
+from repro.runtime.backends.pipelined import StageStats
+from repro.runtime.core import BatchPlan
+from repro.runtime.shm import SharedPrefetchSpec
+
+common_settings = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def dealer_inputs(draw, max_train=200, max_trainers=5, max_quota=40,
+                  max_cap=6):
+    """A plan configuration plus a random adaptive-depth schedule."""
+    n = draw(st.integers(1, max_train))
+    train_ids = np.arange(n, dtype=np.int64)
+    k = draw(st.integers(1, max_trainers))
+    quotas = draw(st.lists(st.integers(0, max_quota), min_size=k,
+                           max_size=k).filter(lambda q: sum(q) > 0))
+    seed = draw(st.integers(0, 10**6))
+    cap = draw(st.integers(1, max_cap))
+    # One candidate depth per retirement; the dealer is resized with
+    # the next schedule entry after each retire (the adaptive policy).
+    depths = draw(st.lists(st.integers(1, cap), min_size=1,
+                           max_size=64))
+    return train_ids, quotas, seed, cap, depths
+
+
+def _drain(plan: BatchPlan, iterations: int, depths: list[int],
+           cap: int):
+    """Drive a LookaheadDealer to exhaustion, recording dealt shards in
+    deal order and retired iterations in retire order."""
+    dealer = LookaheadDealer(plan.iterate(iterations), depths[0])
+    dealt: list[np.ndarray] = []
+    retired: list[int] = []
+    step = 0
+
+    def record(pairs):
+        for _, planned in pairs:
+            for a in planned.assignments:
+                if a is not None:
+                    dealt.append(a)
+
+    record(dealer.refill())
+    while True:
+        entry = dealer.retire()
+        if entry is None:
+            break
+        assert dealer.in_flight + 1 <= cap
+        retired.append(entry[0])
+        step += 1
+        dealer.set_depth(depths[step % len(depths)])
+        record(dealer.refill())
+    return dealer, dealt, retired
+
+
+class TestLookaheadDealer:
+    @common_settings
+    @given(dealer_inputs())
+    def test_dealt_shards_are_the_epoch_permutation(self, data):
+        """Concatenated in deal order, the shards ARE the epoch
+        permutation — order included — no matter how the window
+        grows or shrinks mid-epoch. Look-ahead must never lose,
+        duplicate, or reorder plan work."""
+        train_ids, quotas, seed, cap, depths = data
+        plan = BatchPlan(train_ids, lambda: quotas,
+                         np.random.default_rng(seed))
+        iters = sum(1 for _ in BatchPlan(
+            train_ids, lambda: quotas,
+            np.random.default_rng(seed)).start_epoch())
+        _, dealt, _ = _drain(plan, iters, depths, cap)
+        expected = np.random.default_rng(seed).permutation(train_ids)
+        np.testing.assert_array_equal(np.concatenate(dealt), expected)
+
+    @common_settings
+    @given(dealer_inputs())
+    def test_in_flight_never_exceeds_the_cap(self, data):
+        """The bounded-queue property: however the adaptive schedule
+        resizes the window, the number of dealt-but-unsynchronized
+        iterations never exceeds the cap the schedule draws from."""
+        train_ids, quotas, seed, cap, depths = data
+        plan = BatchPlan(train_ids, lambda: quotas,
+                         np.random.default_rng(seed))
+        dealer, _, _ = _drain(plan, 3, depths, cap)
+        assert dealer.high_water <= cap
+
+    @common_settings
+    @given(dealer_inputs())
+    def test_retirement_order_is_plan_order(self, data):
+        """Iterations retire strictly in plan order — the sync tail
+        (all-reduce, DRM) sees the same sequence as lock-step."""
+        train_ids, quotas, seed, cap, depths = data
+        plan = BatchPlan(train_ids, lambda: quotas,
+                         np.random.default_rng(seed))
+        _, _, retired = _drain(plan, 4, depths, cap)
+        assert retired == list(range(len(retired)))
+
+    def test_shrinking_never_revokes_dealt_work(self):
+        """Shrinking the window below the in-flight count only
+        throttles refills; everything already dealt still retires."""
+        train_ids = np.arange(64, dtype=np.int64)
+        plan = BatchPlan(train_ids, lambda: [8],
+                         np.random.default_rng(0))
+        dealer = LookaheadDealer(plan.iterate(8), 4)
+        assert len(dealer.refill()) == 4
+        dealer.set_depth(1)
+        assert dealer.refill() == []          # over-full: no refill
+        assert dealer.in_flight == 4          # nothing revoked
+        for expected_it in range(4):
+            it, _ = dealer.retire()
+            assert it == expected_it
+            # Still over- or exactly full until the window drains
+            # below the new depth; only then does dealing resume.
+            drained = dealer.in_flight < 1
+            assert len(dealer.refill()) == (1 if drained else 0)
+
+    def test_exhausted_dealer_returns_none(self):
+        train_ids = np.arange(16, dtype=np.int64)
+        plan = BatchPlan(train_ids, lambda: [16],
+                         np.random.default_rng(0))
+        dealer = LookaheadDealer(plan.iterate(1), 2)
+        dealer.refill()
+        assert dealer.retire() is not None
+        assert dealer.retire() is None
+        assert dealer.refill() == []
+
+    def test_invalid_depth_rejected(self):
+        train_ids = np.arange(16, dtype=np.int64)
+        plan = BatchPlan(train_ids, lambda: [8],
+                         np.random.default_rng(0))
+        with pytest.raises(ProtocolError):
+            LookaheadDealer(plan.iterate(1), 0)
+        dealer = LookaheadDealer(plan.iterate(1), 1)
+        with pytest.raises(ProtocolError):
+            dealer.set_depth(0)
+
+
+class TestProcessPipelinedReport:
+    def test_overlap_summary_without_depth_changes(self):
+        rep = ProcessPipelinedReport(iterations=2, num_workers=1)
+        assert "depth=static" in rep.overlap_summary()
+
+    def test_overlap_summary_aggregates_stages(self):
+        rep = ProcessPipelinedReport(iterations=2, num_workers=1)
+        rep.depth_history = [(0, 2), (1, 4)]
+        for stage in WORKER_STAGES:
+            rep.stage_stats[stage] = StageStats(
+                stage=stage, items=4, high_water=2,
+                mean_occupancy=1.0)
+        out = rep.overlap_summary()
+        assert "depth=2-4" in out
+        for stage in WORKER_STAGES:
+            assert stage in out
+
+    def test_inherits_worker_coverage_fields(self):
+        """The statistical tier's per-worker partition assertion keys
+        off these fields — they must survive the subclassing."""
+        rep = ProcessPipelinedReport(iterations=1, num_workers=2,
+                                     worker_targets=[[], []])
+        assert rep.trained_targets == []
+        assert rep.worker_targets == [[], []]
+
+
+class TestDepthDefaults:
+    def test_default_construction_accepts_deep_prefetch(self, tiny_ds):
+        """A session with ``prefetch_depth`` above the historical cap
+        of 8 is valid config; default construction of either
+        overlapped backend must widen the cap rather than raise (an
+        explicitly-passed smaller cap still fails loudly)."""
+        from repro.config import SystemConfig, TrainingConfig
+        from repro.runtime import (
+            PipelinedBackend,
+            ProcessPipelinedBackend,
+            TrainingSession,
+        )
+        cfg = TrainingConfig(model="sage", minibatch_size=32,
+                             fanouts=(4, 3), hidden_dim=16,
+                             learning_rate=0.05, seed=11)
+        session = TrainingSession(
+            tiny_ds, cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True,
+                         prefetch_depth=12),
+            num_trainers=2)
+        for cls in (PipelinedBackend, ProcessPipelinedBackend):
+            backend = cls(session)
+            assert backend.initial_depth == 12
+            assert backend.max_depth == 12
+            with pytest.raises(ProtocolError):
+                cls(session, max_depth=8)
+
+
+class TestSharedPrefetchSpec:
+    def test_round_trips_through_pickle(self):
+        """The spec crosses the process boundary inside the manifest —
+        the wire form must round-trip."""
+        spec = SharedPrefetchSpec(capacity=8, timeout_s=120.0)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_travels_in_the_manifest(self, tiny_ds):
+        from repro.runtime.shm import SharedFeatureStore
+        spec = SharedPrefetchSpec(capacity=4, timeout_s=30.0)
+        with SharedFeatureStore.create(tiny_ds,
+                                       prefetch_spec=spec) as store:
+            manifest = pickle.loads(pickle.dumps(store.manifest))
+            assert manifest.prefetch == spec
+
+    def test_absent_by_default(self, tiny_ds):
+        from repro.runtime.shm import SharedFeatureStore
+        with SharedFeatureStore.create(tiny_ds) as store:
+            assert store.manifest.prefetch is None
