@@ -4,13 +4,28 @@ These are genuine pytest-benchmark measurements of the library's own
 compute kernels (sampling, aggregation, forward/backward) — the
 quantities that bound functional-mode throughput of the reproduction
 itself.
+
+Since the kernel registry (:mod:`repro.kernels`) landed, the file also
+measures the **fast tier against the reference oracle** on the same
+products-scale fixture, two ways:
+
+* pytest-benchmark tests parametrized by tier (interactive numbers);
+* a script mode (``python benchmarks/bench_kernels_micro.py --json
+  out.json``) that emits the machine-readable ``bench-kernels/v1``
+  document the CI regression gate compares against the committed
+  ``benchmarks/BENCH_kernels.json`` baseline via
+  ``benchmarks/check_regression.py`` (policy in
+  ``docs/benchmarks.md``).
 """
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.config import layer_dims
 from repro.graph.datasets import load_dataset
+from repro.kernels import BufferPool, fast, reference
 from repro.nn.aggregators import SparseAggregator, segment_sum_aggregate
 from repro.nn.loss import softmax_cross_entropy
 from repro.nn.models import build_model
@@ -76,3 +91,156 @@ def test_bench_forward_backward(benchmark, ds, batch, model_name):
 
     loss = benchmark(step)
     assert np.isfinite(loss)
+
+
+# ---------------------------------------------------------------------------
+# Kernel tiers: fast vs the reference oracle (the regression-gated set)
+# ---------------------------------------------------------------------------
+
+def _kernel_cases(feats, idx, blk, h_src):
+    """The gated kernel set: ``name -> (reference_fn, fast_fn)``.
+
+    The fast variants run with a warm :class:`BufferPool`, which is the
+    configuration the wired backends use in steady state — the
+    comparison measures the deployed hot path, not a cold start.
+    """
+    pool = BufferPool()
+    x64 = reference.gather(feats, idx)
+    src, dst, num_dst = blk.src_local, blk.dst_local, blk.num_dst
+    return {
+        "gather": (
+            lambda: reference.gather(feats, idx),
+            lambda: fast.gather(feats, idx, pool=pool)),
+        "gather_quantize_int8": (
+            lambda: reference.gather_quantize(feats, idx, "int8"),
+            lambda: fast.gather_quantize(feats, idx, "int8",
+                                         pool=pool)),
+        "gather_quantize_fp16": (
+            lambda: reference.gather_quantize(feats, idx, "fp16"),
+            lambda: fast.gather_quantize(feats, idx, "fp16",
+                                         pool=pool)),
+        "quantize_int8": (
+            lambda: reference.quantize(x64, "int8"),
+            lambda: fast.quantize(x64, "int8", pool=pool)),
+        "segment_sum": (
+            lambda: reference.segment_sum(src, dst, h_src, num_dst),
+            lambda: fast.segment_sum(src, dst, h_src, num_dst)),
+    }
+
+
+@pytest.fixture(scope="module")
+def kernel_cases(ds, batch):
+    blk = batch.blocks[0]
+    h = np.random.default_rng(2).standard_normal((blk.num_src, 100))
+    return _kernel_cases(ds.features, batch.input_nodes, blk, h)
+
+
+@pytest.mark.parametrize("tier", ["reference", "fast"])
+def test_bench_gather_tier(benchmark, kernel_cases, tier):
+    ref_fn, fast_fn = kernel_cases["gather"]
+    fn = ref_fn if tier == "reference" else fast_fn
+    out = benchmark(fn)
+    np.testing.assert_array_equal(ref_fn(), out)
+
+
+@pytest.mark.parametrize("tier", ["reference", "fast"])
+def test_bench_fused_gather_quantize_int8_tier(benchmark, kernel_cases,
+                                               tier):
+    ref_fn, fast_fn = kernel_cases["gather_quantize_int8"]
+    fn = ref_fn if tier == "reference" else fast_fn
+    out = benchmark(fn)
+    np.testing.assert_array_equal(ref_fn(), out)
+
+
+@pytest.mark.parametrize("tier", ["reference", "fast"])
+def test_bench_segment_sum_tier(benchmark, kernel_cases, tier):
+    ref_fn, fast_fn = kernel_cases["segment_sum"]
+    fn = ref_fn if tier == "reference" else fast_fn
+    out = benchmark(fn)
+    np.testing.assert_allclose(ref_fn(), out, rtol=1e-12, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the bench-kernels/v1 document the CI gate consumes
+# ---------------------------------------------------------------------------
+
+def _best_of(fn, number: int, repeats: int) -> float:
+    """Per-call seconds, best of ``repeats`` timed loops of ``number``
+    calls (min is the standard noise-robust micro-bench statistic)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / number)
+    return best
+
+
+def run_kernel_bench(number: int = 20, repeats: int = 5) -> dict:
+    """Measure every gated kernel on the products-scale fixture and
+    return the ``bench-kernels/v1`` document (schema in
+    ``docs/benchmarks.md``)."""
+    ds = load_dataset("ogbn-products", scale=1 / 512, seed=0)
+    sampler = NeighborSampler(ds.graph,
+                              np.arange(ds.graph.num_vertices),
+                              (15, 10), ds.spec.feature_dim, seed=1)
+    batch = sampler.sample(np.arange(512))
+    blk = batch.blocks[0]
+    h = np.random.default_rng(2).standard_normal((blk.num_src, 100))
+    cases = _kernel_cases(ds.features, batch.input_nodes, blk, h)
+
+    doc = {
+        "schema": "bench-kernels/v1",
+        "fixture": {
+            "dataset": "ogbn-products",
+            "scale": "1/512",
+            "store_rows": int(ds.features.shape[0]),
+            "store_cols": int(ds.features.shape[1]),
+            "store_dtype": str(ds.features.dtype),
+            "batch_rows": int(batch.input_nodes.size),
+            "block_edges": int(blk.num_edges),
+        },
+        "timing": {"number": number, "repeats": repeats,
+                   "statistic": "best-of"},
+        "kernels": {},
+    }
+    for name, (ref_fn, fast_fn) in cases.items():
+        ref_fn(), fast_fn()                      # warm caches + pool
+        ref_s = _best_of(ref_fn, number, repeats)
+        fast_s = _best_of(fast_fn, number, repeats)
+        doc["kernels"][name] = {
+            "reference_s": ref_s,
+            "fast_s": fast_s,
+            "speedup": ref_s / fast_s,
+        }
+    return doc
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="Kernel-tier micro-bench (fast vs reference); "
+                    "emits the bench-kernels/v1 JSON the CI gate "
+                    "compares against benchmarks/BENCH_kernels.json")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the bench-kernels/v1 document here "
+                             "(default: stdout only)")
+    parser.add_argument("--number", type=int, default=20,
+                        help="calls per timed loop (default 20)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed loops per kernel; the best is "
+                             "kept (default 5)")
+    args = parser.parse_args()
+
+    doc = run_kernel_bench(number=args.number, repeats=args.repeats)
+    for kname, row in doc["kernels"].items():
+        print(f"{kname:>22}: reference {row['reference_s'] * 1e3:8.3f} ms"
+              f"  fast {row['fast_s'] * 1e3:8.3f} ms"
+              f"  speedup {row['speedup']:5.2f}x")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")

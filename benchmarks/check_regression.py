@@ -1,0 +1,123 @@
+"""CI gate: compare a fresh kernel micro-bench against the baseline.
+
+Usage::
+
+    python benchmarks/bench_kernels_micro.py --json current.json
+    python benchmarks/check_regression.py \
+        benchmarks/BENCH_kernels.json current.json
+
+Both inputs are ``bench-kernels/v1`` documents. The gate's policy
+(documented in ``docs/benchmarks.md``) is deliberately
+machine-portable: absolute times on a CI runner tell you little, but
+the *ratio* between the two tiers measured back-to-back on the same
+machine is stable, so the primary assertions are speedup-based:
+
+* every kernel in the baseline must be measured in the current run
+  (a kernel silently dropped from the bench is a gate bypass);
+* ``gather_quantize_int8`` — the fused chokepoint the accelerator
+  trainers ride — must keep a **hard >= 2.0x** speedup over the
+  reference tier (the PR's acceptance floor, machine-independent);
+* every kernel's speedup must stay within ``--speedup-slack`` (default
+  0.6) of its baseline speedup — a fast-tier regression shows up as
+  the ratio collapsing even when both absolute times drift;
+* every kernel's absolute fast-tier time must stay under
+  ``--time-slack`` (default 3.0) times the baseline's — a generous
+  cross-machine allowance that still catches order-of-magnitude
+  accidents (e.g. a fallback to the reference implementation).
+
+Exit status 0 when every check passes, 1 with a per-kernel report
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: The kernels whose speedup has a hard floor regardless of baseline
+#: (name -> minimum acceptable fast-vs-reference ratio).
+HARD_FLOORS = {"gather_quantize_int8": 2.0}
+
+
+def compare(baseline: dict, current: dict, *,
+            speedup_slack: float = 0.6,
+            time_slack: float = 3.0) -> list[str]:
+    """All gate violations of ``current`` vs ``baseline`` (empty list
+    when the gate passes)."""
+    problems: list[str] = []
+    for doc, label in ((baseline, "baseline"), (current, "current")):
+        if doc.get("schema") != "bench-kernels/v1":
+            problems.append(
+                f"{label}: unknown schema {doc.get('schema')!r} "
+                "(expected bench-kernels/v1)")
+    if problems:
+        return problems
+
+    base_kernels = baseline["kernels"]
+    cur_kernels = current["kernels"]
+    for name, base in base_kernels.items():
+        cur = cur_kernels.get(name)
+        if cur is None:
+            problems.append(f"{name}: missing from the current run "
+                            "(baseline kernels must all be measured)")
+            continue
+        floor = HARD_FLOORS.get(name)
+        if floor is not None and cur["speedup"] < floor:
+            problems.append(
+                f"{name}: speedup {cur['speedup']:.2f}x below the "
+                f"hard floor {floor:.1f}x")
+        want = base["speedup"] * speedup_slack
+        if cur["speedup"] < want:
+            problems.append(
+                f"{name}: speedup {cur['speedup']:.2f}x below "
+                f"{speedup_slack:.0%} of baseline "
+                f"{base['speedup']:.2f}x")
+        limit = base["fast_s"] * time_slack
+        if cur["fast_s"] > limit:
+            problems.append(
+                f"{name}: fast tier {cur['fast_s'] * 1e3:.3f} ms "
+                f"exceeds {time_slack:.1f}x baseline "
+                f"{base['fast_s'] * 1e3:.3f} ms")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate a bench-kernels/v1 run against the committed "
+                    "baseline (see docs/benchmarks.md for the policy)")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument("--speedup-slack", type=float, default=0.6,
+                        help="minimum fraction of the baseline speedup "
+                             "each kernel must retain (default 0.6)")
+    parser.add_argument("--time-slack", type=float, default=3.0,
+                        help="maximum multiple of the baseline "
+                             "fast-tier time allowed (default 3.0)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    problems = compare(baseline, current,
+                       speedup_slack=args.speedup_slack,
+                       time_slack=args.time_slack)
+    for name in sorted(baseline.get("kernels", {})):
+        cur = current.get("kernels", {}).get(name)
+        if cur:
+            print(f"{name:>22}: fast {cur['fast_s'] * 1e3:8.3f} ms  "
+                  f"speedup {cur['speedup']:5.2f}x")
+    if problems:
+        print("\nkernel-bench gate FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print("\nkernel-bench gate passed "
+          f"({len(baseline['kernels'])} kernels)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ from ..baselines import (
     PaGraphSystem,
     PyGMultiGPUBaseline,
 )
+from ..kernels import format_traffic
 from ..runtime.hybrid import HyScaleGNN
 from .harness import ExperimentResult, geomean
 
@@ -240,7 +241,12 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
     composes both (look-ahead shard dealing + worker-local stage
     overlap). Overlapped backends' rows carry the per-stage overlap
     report (adaptive look-ahead range plus buffer high-water / mean
-    occupancy per stage) in the ``overlap`` column.
+    occupancy per stage) in the ``overlap`` column. Every row carries
+    the ``kernel io`` column: per-iteration bytes the gather/quantize
+    hot path moved plus the buffer-pool hit rate, from the report's
+    ``kernel_stats`` counter delta (these sessions run without a
+    timing plane, so the kernel counters are the only traffic
+    accounting the sweep has).
 
     Requires a live backend exposing ``run(iterations)`` and a
     ``wall_time_s`` report field (``"threaded"``, ``"process"``,
@@ -259,7 +265,8 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
               f"({dataset_name}, {backend} backend, "
               f"{iterations} iterations/point)",
         columns=["model", "trainers", "wall time (s)",
-                 f"speedup vs {anchor}", "mean loss", "overlap"])
+                 f"speedup vs {anchor}", "mean loss", "overlap",
+                 "kernel io"])
     total_targets = overrides["minibatch_size"]
     for model in MODELS:
         base_time = None
@@ -286,7 +293,10 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
             res.add_row(model, n, rep.wall_time_s,
                         base_time / max(rep.wall_time_s, 1e-12),
                         float(np.mean(rep.losses)),
-                        overlap() if overlap is not None else "-")
+                        overlap() if overlap is not None else "-",
+                        format_traffic(
+                            getattr(rep, "kernel_stats", {}),
+                            iterations))
     res.notes.append(
         "process backend = one worker process per trainer over the "
         "shared-memory feature store; process_sampling = workers also "
@@ -295,7 +305,9 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
         "sample/gather/transfer stage threads; process_pipelined = "
         "the fusion: look-ahead shard dealing + worker-local stage "
         "overlap (overlap column: adaptive depth range | per-stage "
-        "items, buffer high-water, mean occupancy)")
+        "items, buffer high-water, mean occupancy; kernel io column: "
+        "per-iteration gather/payload traffic + buffer-pool hit rate "
+        "from the kernel registry counters)")
     return res
 
 

@@ -1,0 +1,102 @@
+"""Optional numba-jitted kernel tier.
+
+Registered only when :mod:`numba` imports (``HAVE_NUMBA``); the library
+never requires it. Request with ``REPRO_KERNELS=numba`` — when numba is
+absent the dispatcher falls back down the ladder to the fast NumPy tier
+with a one-time warning, so the same configuration runs everywhere
+(CI's numba matrix leg relies on exactly this).
+
+What gets jitted: the row gather (parallel row loop, widening on the
+fly) and the fused int8 gather+quantize (per-row absmax / scale /
+round / clip / rescale in one pass, no staging buffer at all — the one
+kernel where loop fusion beats NumPy's per-ufunc passes outright). The
+serial scatter-add of ``segment_sum`` accumulates in exactly the
+reference's edge order, so this tier is bit-exact even where the fast
+NumPy tier is only tolerance-equivalent. fp16 modes delegate to the
+fast tier (numba has no float16 support).
+
+Kernels compile lazily on first call (``cache=True`` persists the
+compilation across processes where the platform allows it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import fast
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common container case
+    numba = None
+    HAVE_NUMBA = False
+
+if HAVE_NUMBA:  # pragma: no cover - exercised by the CI numba leg
+
+    @njit(cache=True, parallel=True)
+    def _gather_into(features, index, out):
+        for i in prange(index.shape[0]):
+            row = index[i]
+            for j in range(features.shape[1]):
+                out[i, j] = features[row, j]
+
+    @njit(cache=True, parallel=True)
+    def _gather_quantize_int8(features, index, out):
+        cols = features.shape[1]
+        for i in prange(index.shape[0]):
+            row = index[i]
+            amax = 0.0
+            for j in range(cols):
+                v = abs(np.float64(features[row, j]))
+                if v > amax:
+                    amax = v
+            scale = amax / 127.0 if amax > 0.0 else 1.0
+            for j in range(cols):
+                q = np.rint(np.float64(features[row, j]) / scale)
+                if q > 127.0:
+                    q = 127.0
+                elif q < -127.0:
+                    q = -127.0
+                out[i, j] = q * scale
+
+    @njit(cache=True)
+    def _scatter_add(out, dst, messages):
+        for e in range(dst.shape[0]):
+            d = dst[e]
+            for j in range(messages.shape[1]):
+                out[d, j] += messages[e, j]
+
+    def gather(features, index, out=None, pool=None):
+        dest = fast._dest(index.shape[0], features.shape[1],
+                          np.float64, out, pool)
+        _gather_into(features, index, dest)
+        return dest
+
+    def quantize(x, mode, out=None, pool=None):
+        # Row-local work with no gather to fuse against: the fast
+        # NumPy tier is already optimal here.
+        return fast.quantize(x, mode, out=out, pool=pool)
+
+    def gather_quantize(features, index, mode, out=None, pool=None):
+        if mode != "int8":
+            return fast.gather_quantize(features, index, mode,
+                                        out=out, pool=pool)
+        dest = fast._dest(index.shape[0], features.shape[1],
+                          np.float64, out, pool)
+        _gather_quantize_int8(features, index, dest)
+        return dest
+
+    def segment_sum(src, dst, h_src, num_dst, edge_weights=None):
+        order = np.argsort(src, kind="stable")
+        dst_o = dst[order]
+        messages = h_src[src[order]]
+        if messages.dtype != np.float64:
+            messages = messages.astype(np.float64)
+        if edge_weights is not None:
+            messages *= edge_weights[order][:, None]
+        out = np.zeros((num_dst, h_src.shape[1]), dtype=np.float64)
+        _scatter_add(out, dst_o, messages)
+        return out

@@ -1,0 +1,95 @@
+"""Reference kernel tier: the conformance oracle.
+
+These are the library's original hot-path implementations, moved here
+verbatim so the fast tiers have a fixed semantic target: plain, easily
+auditable NumPy with no buffer reuse, no fusion, and no layout tricks.
+The property suite (``tests/unit/test_kernels.py``) holds every other
+registered tier to this tier's outputs — bit-exactly for ``gather``
+and the fused ``gather_quantize``, to floating-point tolerance for
+``segment_sum`` (whose fast variant reorders the accumulation).
+
+Tier implementations receive pre-validated inputs from the dispatchers
+in :mod:`repro.kernels` (mode and shape checks happen once, above the
+registry), and share one calling convention: ``out=`` is an optional
+caller-owned destination buffer, ``pool=`` an optional
+:class:`~repro.kernels.pool.BufferPool` for scratch staging. The
+reference tier honors ``out`` (so it can be A/B-swapped under pooled
+call sites) but never pools — its role is to be the obviously-correct
+allocation-per-call baseline the benches compare against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gather(features: np.ndarray, index: np.ndarray,
+           out: np.ndarray | None = None, pool=None) -> np.ndarray:
+    """Row gather + float64 widen via one fancy-index copy.
+
+    Fancy indexing already yields a fresh C-contiguous array, so the
+    ``ascontiguousarray`` on the float64 branch is a no-op check, not a
+    copy; narrower stores pay one extra ``astype`` pass.
+    """
+    x0 = features[index]
+    if x0.dtype != np.float64:
+        x0 = x0.astype(np.float64)
+    else:
+        x0 = np.ascontiguousarray(x0)
+    if out is not None:
+        np.copyto(out, x0)
+        return out
+    return x0
+
+
+def quantize(x: np.ndarray, mode: str,
+             out: np.ndarray | None = None, pool=None) -> np.ndarray:
+    """Transfer-precision round trip, one temporary per step.
+
+    Per-row symmetric int8 (each row ships an fp32 scale alongside the
+    payload) or an IEEE-half round trip. Preserves the input float
+    dtype — a float32 batch comes back float32.
+    """
+    if mode == "fp32":
+        result = x
+    elif mode == "fp16":
+        result = x.astype(np.float16).astype(x.dtype)
+    else:  # int8: symmetric per-row scale.
+        absmax = np.abs(x).max(axis=1, keepdims=True)
+        scale = np.where(absmax > 0, absmax / 127.0, 1.0)
+        q = np.clip(np.round(x / scale), -127, 127).astype(np.int8)
+        result = q.astype(x.dtype) * scale
+    if out is not None:
+        np.copyto(out, result)
+        return out
+    return result
+
+
+def gather_quantize(features: np.ndarray, index: np.ndarray, mode: str,
+                    out: np.ndarray | None = None,
+                    pool=None) -> np.ndarray:
+    """Unfused composition: gather (with its float64 widen), then the
+    quantization round trip — the baseline the fused fast kernel must
+    beat (and match bit-for-bit)."""
+    return quantize(gather(features, index), mode, out=out)
+
+
+def segment_sum(src: np.ndarray, dst: np.ndarray, h_src: np.ndarray,
+                num_dst: int,
+                edge_weights: np.ndarray | None = None) -> np.ndarray:
+    """Edge-serial scatter-add in source-sorted order.
+
+    Mirrors the FPGA scatter-gather kernel's streaming order (paper
+    §IV-C): edges sorted by source, accumulated one at a time into the
+    destination rows. ``np.add.at`` applies duplicates in index order,
+    so the accumulation order is exactly the stream order.
+    """
+    order = np.argsort(src, kind="stable")
+    src_o = src[order]
+    dst_o = dst[order]
+    messages = h_src[src_o]
+    if edge_weights is not None:
+        messages = messages * edge_weights[order][:, None]
+    out = np.zeros((num_dst, h_src.shape[1]), dtype=np.float64)
+    np.add.at(out, dst_o, messages)
+    return out

@@ -1,0 +1,106 @@
+"""Process-local kernel traffic accounting.
+
+Every dispatch through the kernel registry records what it moved: rows
+gathered, source bytes read from the feature store, bytes written into
+trainer-facing buffers, quantized payload bytes that would cross PCIe,
+and the buffer pool's hit/miss/allocation trail. The counters answer
+the question the micro-bench cannot: *per training iteration*, how many
+bytes did the gather/transfer hot path actually move, and did the
+steady state allocate?
+
+One :data:`COUNTERS` accumulator per process. Backends snapshot it
+around a run (in-process planes) or ship it back over the worker pipe
+(process planes' ``kstats`` message) and attach the delta to their
+report as ``kernel_stats`` — ``run_wallclock_scalability`` renders it
+next to the overlap column.
+
+Thread safety: stage threads of the overlapped backends dispatch
+kernels concurrently, so :meth:`KernelCounters.add` takes a lock. The
+costs are a few dict updates per *batch* (not per element); the lock is
+invisible next to the gather itself.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class KernelCounters:
+    """A thread-safe additive counter bag.
+
+    Keys are free-form (the kernel dispatchers use ``gather_calls``,
+    ``gather_rows``, ``gather_src_bytes``, ``gather_out_bytes``,
+    ``quantize_calls``, ``quantize_in_bytes``, ``payload_bytes``,
+    ``fused_calls``, ``segment_sum_calls``, ``pool_hits``,
+    ``pool_misses``, ``pool_alloc_bytes``); absent keys read as zero.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+
+    def add(self, **deltas: int) -> None:
+        """Accumulate the given deltas atomically."""
+        with self._lock:
+            for key, value in deltas.items():
+                self._counts[key] = self._counts.get(key, 0) + int(value)
+
+    def snapshot(self) -> dict[str, int]:
+        """A point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._counts)
+
+    def delta(self, since: dict[str, int]) -> dict[str, int]:
+        """Counters accumulated after ``since`` (a prior snapshot),
+        dropping zero entries so reports stay compact."""
+        now = self.snapshot()
+        out = {}
+        for key, value in now.items():
+            d = value - since.get(key, 0)
+            if d:
+                out[key] = d
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter (test isolation)."""
+        with self._lock:
+            self._counts.clear()
+
+
+def merge_counts(into: dict[str, int],
+                 extra: dict[str, int]) -> dict[str, int]:
+    """Sum ``extra`` into ``into`` (the parent folding worker
+    snapshots); returns ``into`` for chaining."""
+    for key, value in extra.items():
+        into[key] = into.get(key, 0) + int(value)
+    return into
+
+
+def format_traffic(counts: dict[str, int], iterations: int = 1) -> str:
+    """One-line per-iteration traffic summary for benches/logs.
+
+    Renders the bytes the gather/quantize hot path moved per training
+    iteration (source bytes read from the feature store; quantized
+    payload bytes that would cross PCIe) and the buffer-pool hit rate —
+    the steady-state-allocation answer. ``"-"`` when ``counts`` is
+    empty (a backend that never dispatched a kernel).
+    """
+    if not counts:
+        return "-"
+    iters = max(int(iterations), 1)
+    parts = [
+        "gather "
+        f"{counts.get('gather_src_bytes', 0) / iters / 1e6:.2f} MB/it"]
+    if counts.get("quantize_calls", 0) or counts.get("fused_calls", 0):
+        parts.append(
+            "payload "
+            f"{counts.get('payload_bytes', 0) / iters / 1e6:.2f} MB/it")
+    hits = counts.get("pool_hits", 0)
+    misses = counts.get("pool_misses", 0)
+    if hits or misses:
+        parts.append(f"pool {hits}/{hits + misses} hits")
+    return " | ".join(parts)
+
+
+#: The process-wide accumulator every kernel dispatch reports into.
+COUNTERS = KernelCounters()

@@ -6,10 +6,12 @@ Feature aggregation is the irregular-memory-access phase of GNN training
 * :class:`SparseAggregator` — a SciPy CSR sparse-matmul path. This is the
   production path: one BLAS-like spmm per layer for forward and one
   (transposed) for backward.
-* :func:`segment_sum_aggregate` — a pure-NumPy scatter-add path that mirrors
-  the FPGA scatter-gather kernel's edge-serial execution (paper §IV-C,
-  Fig. 6). Tests assert both paths agree to floating-point tolerance; the
-  hardware kernel models reuse this path's edge ordering to count traffic.
+* :func:`segment_sum_aggregate` — the segment-sum path that mirrors the FPGA
+  scatter-gather kernel (paper §IV-C, Fig. 6), dispatched through the kernel
+  registry (:mod:`repro.kernels`): edge-serial scatter-add on the reference
+  tier, destination-sorted ``reduceat`` on the fast tier. Tests assert both
+  paths agree to floating-point tolerance; the hardware kernel models reuse
+  the reference tier's edge ordering to count traffic.
 
 Weight helpers produce the edge coefficient vectors for the two models:
 :func:`gcn_edge_weights` implements the symmetric ``1/sqrt(D(u)D(v))``
@@ -22,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from .. import kernels
 from ..errors import ShapeError
 from ..sampling.base import LayerBlock
 
@@ -69,26 +72,27 @@ class SparseAggregator:
 def segment_sum_aggregate(block: LayerBlock, h_src: np.ndarray,
                           edge_weights: np.ndarray | None = None
                           ) -> np.ndarray:
-    """Edge-serial scatter-add aggregation (FPGA-kernel-equivalent path).
+    """Segment-sum aggregation (FPGA-kernel-equivalent path).
 
-    Processes edges in source-sorted order — the order the Feature
-    Duplicator streams them (paper §IV-C) — accumulating into destination
-    rows. Functionally identical to :class:`SparseAggregator.forward`.
+    Validates the block shapes, then dispatches to the kernel registry
+    (:mod:`repro.kernels`): the ``reference`` tier streams edges in
+    source-sorted order — the order the Feature Duplicator feeds them
+    (paper §IV-C) — through an edge-serial scatter-add; the default
+    ``fast`` tier computes the same Eq.-1 sums via destination-sorted
+    ``np.add.reduceat`` runs (tolerance-equivalent: the accumulation
+    order differs). Functionally identical to
+    :class:`SparseAggregator.forward`, the production path the model
+    layers use.
     """
     if h_src.shape[0] != block.num_src:
         raise ShapeError("source feature row count mismatch")
-    order = np.argsort(block.src_local, kind="stable")
-    src = block.src_local[order]
-    dst = block.dst_local[order]
-    messages = h_src[src]
     if edge_weights is not None:
         edge_weights = np.asarray(edge_weights, dtype=np.float64)
         if edge_weights.shape != (block.num_edges,):
             raise ShapeError("edge_weights must have one entry per edge")
-        messages = messages * edge_weights[order][:, None]
-    out = np.zeros((block.num_dst, h_src.shape[1]), dtype=np.float64)
-    np.add.at(out, dst, messages)
-    return out
+    return kernels.segment_sum(block.src_local, block.dst_local, h_src,
+                               block.num_dst,
+                               edge_weights=edge_weights)
 
 
 def mean_edge_weights(block: LayerBlock) -> np.ndarray:

@@ -66,6 +66,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...errors import ProtocolError
+from ...kernels import COUNTERS
 from ...perfmodel.model import StageTimes, WorkloadSplit
 from ...sim.trace import Timeline
 from ..prefetch import PrefetchBuffer
@@ -180,8 +181,9 @@ class PipelinedReport:
     Field-compatible with the other live planes' reports (the
     conformance kit reads all of them generically), plus the pipeline's
     own observability: per-stage occupancy stats, the adaptive-depth
-    trajectory, and the exact multiset of trained targets (what the
-    statistical tier's coverage assertions consume).
+    trajectory, the exact multiset of trained targets (what the
+    statistical tier's coverage assertions consume), and the run's
+    kernel-traffic counter delta (``kernel_stats``).
     """
 
     iterations: int
@@ -199,6 +201,7 @@ class PipelinedReport:
     stage_stats: dict[str, StageStats] = field(default_factory=dict)
     depth_history: list[tuple[int, int]] = field(default_factory=list)
     prefetch_high_water: int = 0
+    kernel_stats: dict[str, int] = field(default_factory=dict)
 
     def overlap_summary(self) -> str:
         """One-line per-stage overlap report for benches/logs."""
@@ -358,6 +361,7 @@ class PipelinedBackend(ExecutionBackend):
                 threads.append(threading.Thread(
                     target=worker, args=(idx,), daemon=True,
                     name=f"pipeline-{stage}{idx}"))
+        counters_before = COUNTERS.snapshot()
         start = time.perf_counter()
         for t in threads:
             t.start()
@@ -388,6 +392,7 @@ class PipelinedBackend(ExecutionBackend):
                 f"{self.timeout_s}s: {lingering}")
 
         report.wall_time_s = time.perf_counter() - start
+        report.kernel_stats = COUNTERS.delta(counters_before)
         report.replicas_consistent = \
             s.synchronizer.replicas_consistent()
         self._aggregate_stage_stats(bufs, report)

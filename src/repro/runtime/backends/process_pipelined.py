@@ -312,6 +312,10 @@ def _serve_overlapped(conn, replica, spec: _WorkerSpec,
         for t in threads:
             t.join(timeout=timeout)
 
+    # Delta baseline for ``kstats`` replies: under fork the worker's
+    # COUNTERS inherits the parent's pre-spawn totals (see ``_serve``).
+    from ...kernels import COUNTERS
+    counters_baseline = COUNTERS.snapshot()
     conn.send(("ready", spec.index))
     for t in threads:
         t.start()
@@ -338,6 +342,10 @@ def _serve_overlapped(conn, replica, spec: _WorkerSpec,
             elif tag == "params":
                 drain()
                 safe_send(("params", replica.model.get_flat_params()))
+            elif tag == "kstats":
+                drain()
+                safe_send(("kstats",
+                           COUNTERS.delta(counters_baseline)))
             elif tag == "stop":
                 return
             else:
@@ -531,6 +539,11 @@ class ProcessPipelinedBackend(ProcessSamplingBackend):
         for idx in range(len(conns)):
             self._send(conns, idx, ("end",))
         self._collect_stage_stats(conns, report)
+        # Chain the base hook: one more round trip per worker to fold
+        # the kernel-traffic counters into ``report.kernel_stats`` (the
+        # stage threads have drained by now, so the snapshots are
+        # final).
+        super()._finalize(conns, report)
 
     def _collect_stage_stats(self, conns, report) -> None:
         """Gather every worker's stage-buffer accounting and aggregate

@@ -83,7 +83,10 @@ class ProcessReport:
     and the shared-memory copy (reported separately as
     ``startup_time_s``), the final parity audit, and teardown;
     ``virtual_time_s`` is the modelled makespan when the session
-    carries a timing plane.
+    carries a timing plane. ``kernel_stats`` sums every worker's
+    kernel-traffic counters (:mod:`repro.kernels.stats` — bytes
+    gathered, quantized payload bytes, buffer-pool hits/misses),
+    collected over the pipes after the training clock stops.
     """
 
     iterations: int
@@ -99,6 +102,7 @@ class ProcessReport:
     total_edges: float = 0.0
     virtual_time_s: float = 0.0
     timeline: Timeline = field(default_factory=Timeline)
+    kernel_stats: dict[str, int] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -121,6 +125,7 @@ class _WorkerReplica:
     pickled)."""
 
     def __init__(self, store, spec: _WorkerSpec) -> None:
+        from ...kernels import BufferPool
         from ...nn.models import build_model
         from ...nn.optim import SGD
         from ..trainer import TrainerNode
@@ -134,14 +139,22 @@ class _WorkerReplica:
                                 spec.dims, spec.model_name)
         self.opt = SGD(self.model, lr=spec.learning_rate)
         self.sampler = None    # set by the worker-sampling plane
+        # Lock-step workers train each batch to completion before
+        # gathering the next, so the x0 buffer can be pooled: after
+        # the first few iterations the gather/quantize hot path
+        # allocates nothing. The fused overlapped plane keeps batches
+        # in flight on stage threads and must NOT use this pool — its
+        # serve loop bypasses `train` (see docs/kernels.md).
+        self.pool = BufferPool()
 
     def train(self, spec: _WorkerSpec, mb):
         """The session's exact feature path (gather, float64 widen,
-        accel quantization) against the shared store, then one
-        forward/backward."""
+        accel quantization — fused on the fast kernel tier) against the
+        shared store, then one forward/backward."""
         from ..core import gather_batch_features
         x0 = gather_batch_features(self.features, mb, spec.kind,
-                                   spec.transfer_precision)
+                                   spec.transfer_precision,
+                                   pool=self.pool)
         return self.node.train_minibatch(mb, x0,
                                          self.labels[mb.targets],
                                          self.degrees)
@@ -163,7 +176,14 @@ def _serve(conn, replica: _WorkerReplica, spec: _WorkerSpec,
     handshake, the parameter init/audit, the synchronized ``apply`` +
     local SGD step that keeps the replica bit-equal to the parent
     mirror — is plane-independent. Runs until ``("stop",)`` or EOF.
+
+    ``kstats`` replies are deltas from a baseline taken here: under
+    the fork start method the worker's :data:`~repro.kernels.COUNTERS`
+    inherits whatever the *parent* accumulated before spawning, which
+    must not be re-reported as worker traffic.
     """
+    from ...kernels import COUNTERS
+    counters_baseline = COUNTERS.snapshot()
     conn.send(("ready", spec.index))
     while True:
         msg = conn.recv()
@@ -178,6 +198,8 @@ def _serve(conn, replica: _WorkerReplica, spec: _WorkerSpec,
             replica.model.set_flat_params(msg[1])
         elif tag == "params":
             conn.send(("params", replica.model.get_flat_params()))
+        elif tag == "kstats":
+            conn.send(("kstats", COUNTERS.delta(counters_baseline)))
         elif tag == "stop":
             return
         else:
@@ -390,7 +412,23 @@ class ProcessPoolBackend(ExecutionBackend):
         and before the parity audit — accounting round trips here
         (the fused plane drains worker pipelines and collects their
         stage stats) never skew the measured training time that the
-        wall-clock benches compare across backends."""
+        wall-clock benches compare across backends.
+
+        The base hook collects each worker's kernel-traffic counters
+        (gather/quantize bytes, buffer-pool hits) and sums them into
+        ``report.kernel_stats``; subclasses that override this chain
+        ``super()._finalize(conns, report)`` after their own round
+        trips."""
+        from ...kernels import merge_counts
+        for idx in range(len(conns)):
+            self._send(conns, idx, ("kstats",))
+        for idx in range(len(conns)):
+            tag, counts = self._recv(conns, idx)
+            if tag != "kstats":
+                raise ProtocolError(
+                    f"worker {idx} sent {tag!r} instead of its kernel "
+                    "counter snapshot")
+            merge_counts(report.kernel_stats, counts)
 
     def _run_iteration(self, it: int, planned, conns, report,
                        rows) -> None:

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...errors import ProtocolError
+from ...kernels import COUNTERS
 from ...perfmodel.model import StageTimes, WorkloadSplit
 from ...sim.trace import Timeline
 from ..prefetch import PrefetchBuffer
@@ -51,6 +52,9 @@ class ExecutorReport:
     timing plane the report additionally holds the virtual-time
     bookkeeping (stage history, DRM split trajectory, pipeline timeline)
     so threaded runs are comparable to the virtual-time plane.
+    ``kernel_stats`` is the run's delta of the process-global
+    kernel-traffic counters (:data:`repro.kernels.COUNTERS`) — bytes
+    gathered and quantized payload bytes for the run's feature loads.
     """
 
     iterations: int
@@ -65,6 +69,7 @@ class ExecutorReport:
     total_edges: float = 0.0
     virtual_time_s: float = 0.0
     timeline: Timeline = field(default_factory=Timeline)
+    kernel_stats: dict[str, int] = field(default_factory=dict)
 
 
 class ThreadedBackend(ExecutionBackend):
@@ -241,6 +246,7 @@ class ThreadedBackend(ExecutionBackend):
         threads += [threading.Thread(target=trainer_loop, args=(i,),
                                      daemon=True, name=f"trainer{i}")
                     for i in range(n)]
+        counters_before = COUNTERS.snapshot()
         start = time.perf_counter()
         for t in threads:
             t.start()
@@ -285,6 +291,7 @@ class ThreadedBackend(ExecutionBackend):
                 t.join(timeout=self.timeout_s)
 
         report.wall_time_s = time.perf_counter() - start
+        report.kernel_stats = COUNTERS.delta(counters_before)
         report.replicas_consistent = \
             s.synchronizer.replicas_consistent()
         report.prefetch_high_water = max(b.high_water for b in buffers)

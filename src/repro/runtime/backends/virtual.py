@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...errors import ConfigError
+from ...kernels import COUNTERS, BufferPool
 from ...perfmodel.model import StageTimes, WorkloadSplit
 from ...sampling.base import MiniBatchStats
 from ...sim.trace import Timeline
@@ -35,6 +36,8 @@ class EpochReport:
 
     ``epoch_time_s`` is *virtual* (modelled-hardware) time; functional
     quality metrics are populated only by functional training.
+    ``kernel_stats`` (functional epochs only) is the epoch's delta of
+    the kernel-traffic counters (:data:`repro.kernels.COUNTERS`).
     """
 
     mode: str                                  # "functional" | "simulated"
@@ -46,6 +49,7 @@ class EpochReport:
     losses: list[float] = field(default_factory=list)
     accuracies: list[float] = field(default_factory=list)
     total_edges: float = 0.0
+    kernel_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_loss(self) -> float:
@@ -84,6 +88,12 @@ class VirtualTimeBackend(ExecutionBackend):
         report = EpochReport(mode="functional", iterations=0,
                              epoch_time_s=0.0, timeline=Timeline())
 
+        # Sequential resolution trains each batch to completion before
+        # loading the next, so feature loads can reuse one pooled
+        # buffer set: the gather/quantize hot path stops allocating
+        # after the largest batch has been seen.
+        pool = BufferPool()
+        counters_before = COUNTERS.snapshot()
         iteration = 0
         for planned in s.plan.start_epoch():
             stats_cpu: MiniBatchStats | None = None
@@ -107,7 +117,7 @@ class VirtualTimeBackend(ExecutionBackend):
                     stats_cpu = st
                 else:
                     stats_accel.append(st)
-                x0 = s.load_features(mb, trainer.kind)
+                x0 = s.load_features(mb, trainer.kind, pool=pool)
                 rep = trainer.train_minibatch(
                     mb, x0, s.labels_for(mb), s.degrees)
                 s.synchronizer.signal_done(trainer.name, iteration)
@@ -142,6 +152,7 @@ class VirtualTimeBackend(ExecutionBackend):
                 break
 
         report.iterations = iteration
+        report.kernel_stats = COUNTERS.delta(counters_before)
         if s.has_timing:
             timeline = s.make_pipeline().run(rows)
             report.timeline = timeline

@@ -39,6 +39,7 @@ from ..config import SystemConfig, TrainingConfig, layer_dims
 from ..errors import ConfigError, ProtocolError
 from ..graph.datasets import GraphDataset
 from ..hw.topology import PlatformSpec
+from .. import kernels
 from ..nn.models import build_model
 from ..nn.optim import SGD
 from ..perfmodel.mapping import initial_mapping
@@ -63,22 +64,25 @@ from .trainer import TrainerNode
 PIPELINE_STAGES = ("sample", "load", "transfer", "propagate")
 
 
-def gather_feature_rows(features: np.ndarray,
-                        mb: MiniBatch) -> np.ndarray:
+def gather_feature_rows(features: np.ndarray, mb: MiniBatch, *,
+                        out: np.ndarray | None = None,
+                        pool: kernels.BufferPool | None = None
+                        ) -> np.ndarray:
     """The feature-gather (load) stage: one host-memory row gather.
 
-    Exactly one row gather; the float64 conversion only copies when the
-    source stores a narrower dtype (fancy indexing already yields a
-    fresh C-contiguous array, so ``ascontiguousarray`` is a no-op
-    check, not a copy). Pure — safe to run concurrently from pipeline
+    Dispatches through the kernel registry (:mod:`repro.kernels`), so
+    the active ``REPRO_KERNELS`` tier decides how the rows move; every
+    tier returns the same float64 bits. ``out``/``pool`` make the fast
+    tier allocation-free — **opt-in**: a pooled result is only valid
+    until the next gather from the same pool, so only provably
+    sequential call sites (the virtual backend's epoch loop, the
+    process-plane workers) pass one; the overlapped planes keep several
+    batches in flight and must not (see ``docs/kernels.md``). Without
+    them the call is pure — safe to run concurrently from pipeline
     stage threads.
     """
-    x0 = features[mb.input_nodes]
-    if x0.dtype != np.float64:
-        x0 = x0.astype(np.float64)
-    else:
-        x0 = np.ascontiguousarray(x0)
-    return x0
+    return kernels.gather_rows(features, mb.input_nodes, out=out,
+                               pool=pool)
 
 
 def apply_transfer_policy(x0: np.ndarray, trainer_kind: str,
@@ -96,7 +100,9 @@ def apply_transfer_policy(x0: np.ndarray, trainer_kind: str,
 
 def gather_batch_features(features: np.ndarray, mb: MiniBatch,
                           trainer_kind: str,
-                          transfer_precision: str) -> np.ndarray:
+                          transfer_precision: str, *,
+                          pool: kernels.BufferPool | None = None
+                          ) -> np.ndarray:
     """Gather one mini-batch's input features, ready for a trainer.
 
     The fused load + transfer path: pure function of
@@ -105,9 +111,16 @@ def gather_batch_features(features: np.ndarray, mb: MiniBatch,
     :meth:`TrainingSession.load_features`, process-pool workers against
     their shared-memory mapping, the pipelined backend's separate
     gather/transfer stage threads — runs the identical bits.
+    Accelerator-bound quantized batches take the registry's **fused**
+    gather+quantize kernel (one pass over the rows, no float64
+    intermediate between the stages on the fast tier); everything else
+    is a plain gather. ``pool`` is the same opt-in as
+    :func:`gather_feature_rows`.
     """
-    return apply_transfer_policy(gather_feature_rows(features, mb),
-                                 trainer_kind, transfer_precision)
+    if trainer_kind == "accel" and transfer_precision != "fp32":
+        return kernels.gather_quantize(features, mb.input_nodes,
+                                       transfer_precision, pool=pool)
+    return kernels.gather_rows(features, mb.input_nodes, pool=pool)
 
 
 # ---------------------------------------------------------------------------
@@ -455,17 +468,23 @@ class TrainingSession:
         return apply_transfer_policy(x0, trainer_kind,
                                      self.sys_cfg.transfer_precision)
 
-    def load_features(self, mb: MiniBatch, trainer_kind: str) -> np.ndarray:
+    def load_features(self, mb: MiniBatch, trainer_kind: str, *,
+                      pool: kernels.BufferPool | None = None
+                      ) -> np.ndarray:
         """Gather one mini-batch's input features, ready for the trainer.
 
         Delegates to the module-level :func:`gather_batch_features` —
         the single implementation every execution substrate uses
         (process-pool workers call it against the shared-memory feature
         store), so the transfer policy can never drift between planes.
+        ``pool`` is the sequential-call-site opt-in documented there
+        (the threaded producer keeps batches in flight and passes
+        none).
         """
         return gather_batch_features(self.dataset.features, mb,
                                      trainer_kind,
-                                     self.sys_cfg.transfer_precision)
+                                     self.sys_cfg.transfer_precision,
+                                     pool=pool)
 
     def labels_for(self, mb: MiniBatch) -> np.ndarray:
         return self.dataset.labels[mb.targets]

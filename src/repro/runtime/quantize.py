@@ -12,16 +12,25 @@ assumed (the CPU trainer keeps reading full-precision features from host
 memory, matching the mechanism). ``tests/integration`` and
 ``benchmarks/bench_extension_quantization.py`` quantify both sides of
 the trade.
+
+The numeric work dispatches through the kernel registry
+(:mod:`repro.kernels`): the default fast tier runs the int8 round trip
+with a single destination buffer and in-place round/clip/rescale (no
+int8 or widened temporaries), and the accelerator gather+transfer
+chokepoint (:func:`repro.runtime.core.gather_batch_features`) fuses the
+two stages into one kernel. Every tier returns bit-identical results
+(``docs/kernels.md`` documents the contract).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigError
+from .. import kernels
 
-#: Bytes per feature element on the PCIe link, per precision mode.
-TRANSFER_BYTES = {"fp32": 4, "fp16": 2, "int8": 1}
+#: Bytes per feature element on the PCIe link, per precision mode
+#: (re-exported from the kernel registry, the single ground truth).
+TRANSFER_BYTES = kernels.TRANSFER_BYTES
 
 
 def quantize_dequantize(x: np.ndarray, mode: str) -> np.ndarray:
@@ -37,24 +46,12 @@ def quantize_dequantize(x: np.ndarray, mode: str) -> np.ndarray:
         row carries its own scale, as a real implementation would ship
         one fp32 scale per row alongside the payload).
 
-    Returns a float64 array with the quantization error applied.
+    Returns an array of ``x``'s own float dtype with the quantization
+    error applied — a float32 batch comes back float32 (dtype
+    inflation here used to double every downstream trainer's memory
+    traffic).
     """
-    if mode not in TRANSFER_BYTES:
-        raise ConfigError(
-            f"unknown transfer precision {mode!r}; "
-            f"expected one of {sorted(TRANSFER_BYTES)}")
-    x = np.asarray(x)
-    if x.ndim != 2:
-        raise ConfigError("expected a 2-D feature matrix")
-    if mode == "fp32":
-        return x.astype(np.float64, copy=False)
-    if mode == "fp16":
-        return x.astype(np.float16).astype(np.float64)
-    # int8: symmetric per-row scale.
-    absmax = np.abs(x).max(axis=1, keepdims=True)
-    scale = np.where(absmax > 0, absmax / 127.0, 1.0)
-    q = np.clip(np.round(x / scale), -127, 127).astype(np.int8)
-    return q.astype(np.float64) * scale
+    return kernels.quantize(x, mode)
 
 
 def quantization_rmse(x: np.ndarray, mode: str) -> float:

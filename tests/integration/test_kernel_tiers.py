@@ -1,0 +1,86 @@
+"""Backend results are invariant to the kernel tier.
+
+The kernel registry's exactness contract (``docs/kernels.md``) says the
+``fast`` tier is bit-identical to the ``reference`` oracle on every
+training-path op. These tests hold the *backends* to it: the same
+session run under either tier — on the flagship hybrid + DRM + int8
+conformance case, where the fused gather+quantize chokepoint actually
+engages — must produce the same trajectory bit for bit. This is what
+licenses shipping ``fast`` as the default without perturbing any
+previously recorded result.
+
+The tier is selected through the ``REPRO_KERNELS`` environment variable
+(not the programmatic override) so process-plane workers inherit it
+under any start method, exercising the same selection path CI's
+``REPRO_KERNELS=numba`` matrix leg uses.
+"""
+
+import numpy as np
+import pytest
+
+from backend_conformance import CONFORMANCE_CASES, run_backend
+from repro import kernels
+
+#: The flagship case: hybrid CPU+accel split, DRM, int8 PCIe transfer
+#: — every kernel op (gather, fused gather+quantize) on the hot path.
+_FLAGSHIP = CONFORMANCE_CASES[0]
+
+#: Lock-step backends owing bit-parity; the statistical-tier planes are
+#: covered transitively (their conformance suite already runs under the
+#: default fast tier against the virtual reference).
+_STRICT_BACKENDS = ("virtual", "threaded", "process")
+
+
+def _run_under_tier(name, tier, dataset, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", tier)
+    assert kernels.active_tier("gather") == tier
+    session, report = run_backend(name, _FLAGSHIP, dataset)
+    params = [t.model.get_flat_params() for t in session.trainers]
+    return report, params
+
+
+@pytest.mark.parametrize("backend_name", _STRICT_BACKENDS)
+def test_fast_tier_is_bit_identical_to_reference(backend_name, tiny_ds,
+                                                 monkeypatch):
+    ref, ref_params = _run_under_tier(backend_name, "reference",
+                                      tiny_ds, monkeypatch)
+    fast, fast_params = _run_under_tier(backend_name, "fast",
+                                        tiny_ds, monkeypatch)
+    assert fast.iterations == ref.iterations
+    np.testing.assert_array_equal(ref.losses, fast.losses)
+    np.testing.assert_array_equal(ref.accuracies, fast.accuracies)
+    assert fast.total_edges == ref.total_edges
+    assert ref.split_history == fast.split_history
+    for rp, fp in zip(ref_params, fast_params):
+        np.testing.assert_array_equal(rp, fp)
+
+
+def test_fast_tier_conformance_against_reference_tier_oracle(
+        tiny_ds, monkeypatch):
+    """Cross-tier cross-backend: a process run under the default fast
+    tier reproduces the virtual reference run under the reference
+    tier — the full conformance claim in one assertion path."""
+    ref, ref_params = _run_under_tier("virtual", "reference", tiny_ds,
+                                      monkeypatch)
+    cand, cand_params = _run_under_tier("process", "fast", tiny_ds,
+                                        monkeypatch)
+    np.testing.assert_array_equal(ref.losses, cand.losses)
+    for rp, cp in zip(ref_params, cand_params):
+        np.testing.assert_array_equal(rp, cp)
+
+
+def test_kernel_stats_reported_across_planes(tiny_ds, monkeypatch):
+    """Every plane's report carries the kernel-traffic delta, and the
+    process plane's totals come from the workers (nonzero gather
+    traffic with a zero parent-side delta)."""
+    monkeypatch.setenv("REPRO_KERNELS", "fast")
+    parent_before = kernels.COUNTERS.snapshot()
+    _, report = run_backend("process", _FLAGSHIP, tiny_ds)
+    parent_delta = kernels.COUNTERS.delta(parent_before)
+    # The accel replicas take the fused int8 chokepoint; DRM may zero
+    # the CPU trainer's quota, so plain gather_calls are not promised.
+    assert report.kernel_stats.get("gather_rows", 0) > 0
+    assert report.kernel_stats.get("fused_calls", 0) > 0  # int8 accel
+    assert report.kernel_stats.get("payload_bytes", 0) > 0
+    # The parent gathered nothing itself: stats crossed the pipe.
+    assert parent_delta.get("gather_rows", 0) == 0

@@ -1,0 +1,112 @@
+"""The kernel-bench regression gate (``benchmarks/check_regression.py``)
+and the committed ``bench-kernels/v1`` baseline it guards."""
+
+import copy
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).parents[2] / "benchmarks"
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", _BENCH_DIR / "check_regression.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+gate = _load_gate()
+
+
+def _doc(**kernels):
+    return {
+        "schema": "bench-kernels/v1",
+        "fixture": {"dataset": "ogbn-products"},
+        "timing": {"number": 20, "repeats": 5},
+        "kernels": {
+            name: {"reference_s": ref, "fast_s": fastv,
+                   "speedup": ref / fastv}
+            for name, (ref, fastv) in kernels.items()},
+    }
+
+
+BASE = _doc(gather=(1.0, 1.0), gather_quantize_int8=(4.0, 1.0),
+            segment_sum=(3.0, 1.0))
+
+
+class TestCompare:
+    def test_identical_run_passes(self):
+        assert gate.compare(BASE, copy.deepcopy(BASE)) == []
+
+    def test_missing_kernel_fails(self):
+        cur = copy.deepcopy(BASE)
+        del cur["kernels"]["segment_sum"]
+        problems = gate.compare(BASE, cur)
+        assert any("missing" in p for p in problems)
+
+    def test_hard_floor_on_fused_int8(self):
+        cur = _doc(gather=(1.0, 1.0),
+                   gather_quantize_int8=(4.0, 2.5),   # 1.6x < 2.0
+                   segment_sum=(3.0, 1.0))
+        problems = gate.compare(BASE, cur)
+        assert any("hard floor" in p for p in problems)
+
+    def test_speedup_collapse_fails_even_when_floor_holds(self):
+        # segment_sum falls from 3.0x to 1.0x: above any hard floor,
+        # but below 60% of its own baseline.
+        cur = _doc(gather=(1.0, 1.0), gather_quantize_int8=(4.0, 1.0),
+                   segment_sum=(3.0, 3.0))
+        problems = gate.compare(BASE, cur)
+        assert any("below 60% of baseline" in p for p in problems)
+
+    def test_absolute_time_blowup_fails(self):
+        # Ratios intact, but everything 10x slower than baseline — an
+        # accidental reference fallback or debug build.
+        cur = _doc(gather=(10.0, 10.0),
+                   gather_quantize_int8=(40.0, 10.0),
+                   segment_sum=(30.0, 10.0))
+        problems = gate.compare(BASE, cur)
+        assert any("exceeds 3.0x baseline" in p for p in problems)
+
+    def test_slack_is_tunable(self):
+        cur = _doc(gather=(2.0, 2.0), gather_quantize_int8=(8.0, 2.0),
+                   segment_sum=(6.0, 2.0))
+        assert gate.compare(BASE, cur, time_slack=1.5)
+        assert gate.compare(BASE, cur, time_slack=4.0) == []
+
+    def test_unknown_schema_rejected(self):
+        bad = copy.deepcopy(BASE)
+        bad["schema"] = "bench-kernels/v0"
+        assert gate.compare(bad, BASE)
+        assert gate.compare(BASE, bad)
+
+
+class TestCommittedBaseline:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        with open(_BENCH_DIR / "BENCH_kernels.json") as fh:
+            return json.load(fh)
+
+    def test_schema_and_required_kernels(self, baseline):
+        assert baseline["schema"] == "bench-kernels/v1"
+        for name in ("gather", "gather_quantize_int8",
+                     "gather_quantize_fp16", "quantize_int8",
+                     "segment_sum"):
+            row = baseline["kernels"][name]
+            assert row["reference_s"] > 0 and row["fast_s"] > 0
+            assert row["speedup"] == pytest.approx(
+                row["reference_s"] / row["fast_s"])
+
+    def test_baseline_meets_acceptance_floor(self, baseline):
+        # The PR's acceptance criterion, pinned: fused gather+int8 at
+        # >= 2x over the reference composition on the products-scale
+        # fixture.
+        assert baseline["kernels"]["gather_quantize_int8"][
+            "speedup"] >= 2.0
+
+    def test_baseline_passes_its_own_gate(self, baseline):
+        assert gate.compare(baseline, copy.deepcopy(baseline)) == []

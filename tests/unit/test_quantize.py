@@ -56,6 +56,25 @@ class TestQuantizeDequantize:
     def test_transfer_bytes_table(self):
         assert TRANSFER_BYTES == {"fp32": 4, "fp16": 2, "int8": 1}
 
+    def test_preserves_input_float_dtype(self):
+        # A float32 batch must come back float32 — dtype inflation
+        # here used to double downstream trainers' memory traffic.
+        for dtype in (np.float32, np.float64):
+            x = np.random.default_rng(5).standard_normal(
+                (16, 8)).astype(dtype)
+            for mode in ("fp32", "fp16", "int8"):
+                assert quantize_dequantize(x, mode).dtype == dtype
+
+    def test_float32_int8_roundtrip_no_widening_error(self):
+        # The float32 fast path (no float64 temp) must still land on
+        # the same quantization grid the widened computation defines.
+        x = np.random.default_rng(6).standard_normal(
+            (32, 8)).astype(np.float32)
+        q32 = quantize_dequantize(x, "int8")
+        q64 = quantize_dequantize(x.astype(np.float64), "int8")
+        np.testing.assert_allclose(q32, q64.astype(np.float32),
+                                   rtol=1e-6, atol=1e-7)
+
 
 class TestSystemConfigPrecision:
     def test_valid_modes(self):
