@@ -28,6 +28,7 @@ from ..baselines import (
 )
 from ..kernels import format_traffic
 from ..runtime.hybrid import HyScaleGNN
+from ..runtime.resctl import summarize_calibration
 from .harness import ExperimentResult, geomean
 
 #: Datasets in paper order.
@@ -246,7 +247,11 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
     hot path moved plus the buffer-pool hit rate, from the report's
     ``kernel_stats`` counter delta (these sessions run without a
     timing plane, so the kernel counters are the only traffic
-    accounting the sweep has).
+    accounting the sweep has). The ``calib`` column renders the fused
+    plane's model-vs-realized calibration digest
+    (:func:`repro.runtime.resctl.summarize_calibration`); backends
+    without an online estimator — and timing-plane-less sessions like
+    these, whose estimator never warms — show ``-``.
 
     Requires a live backend exposing ``run(iterations)`` and a
     ``wall_time_s`` report field (``"threaded"``, ``"process"``,
@@ -266,7 +271,7 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
               f"{iterations} iterations/point)",
         columns=["model", "trainers", "wall time (s)",
                  f"speedup vs {anchor}", "mean loss", "overlap",
-                 "kernel io"])
+                 "kernel io", "calib"])
     total_targets = overrides["minibatch_size"]
     for model in MODELS:
         base_time = None
@@ -296,7 +301,9 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
                         overlap() if overlap is not None else "-",
                         format_traffic(
                             getattr(rep, "kernel_stats", {}),
-                            iterations))
+                            iterations),
+                        summarize_calibration(
+                            getattr(rep, "calibration", {})))
     res.notes.append(
         "process backend = one worker process per trainer over the "
         "shared-memory feature store; process_sampling = workers also "
@@ -307,7 +314,9 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
         "overlap (overlap column: adaptive depth range | per-stage "
         "items, buffer high-water, mean occupancy; kernel io column: "
         "per-iteration gather/payload traffic + buffer-pool hit rate "
-        "from the kernel registry counters)")
+        "from the kernel registry counters; calib column: per-stage "
+        "model-vs-realized calibration error once the fused plane's "
+        "online estimator warms, '-' otherwise)")
     return res
 
 

@@ -147,6 +147,12 @@ class StageTimes:
             "sync": self.t_sync,
         }
 
+    def with_updates(self, **kwargs) -> "StageTimes":
+        """Copy with fields replaced (how the resctl estimator applies
+        its per-stage corrections without mutating the frozen model
+        output other consumers hold)."""
+        return replace(self, **kwargs)
+
 
 def throughput_mteps(total_edges_per_iteration: float,
                      iteration_time_s: float) -> float:

@@ -50,6 +50,13 @@ This package is the paper's primary contribution (§III-§IV):
 * :mod:`repro.runtime.shm` — :class:`SharedFeatureStore`, the
   single-segment shared-memory mapping of the dataset's features,
   labels and CSR topology that process workers gather from zero-copy;
+* :mod:`repro.runtime.resctl` — feedback-driven resource control:
+  :class:`StageMonitor` (realized per-stage wall times sampled from
+  the live planes), :class:`OnlineEstimator` (calibrates the analytic
+  perf model against the realized signal), and :class:`NodeAllocator`
+  (arbitrates look-ahead depth budget across concurrent sessions).
+  The overlapped backends expose the loop through their
+  ``depth_source`` knob (see ``docs/architecture.md``);
 * :mod:`repro.runtime.hybrid` — :class:`HyScaleGNN`, the top-level
   system facade (session + virtual-time backend);
 * :mod:`repro.runtime.executor` — :class:`ThreadedExecutor`, the
@@ -85,11 +92,26 @@ from .backends.threaded import ExecutorReport
 from .backends.virtual import EpochReport
 from .backends.process_pool import ProcessReport
 from .backends.process_sampling import ProcessSamplingReport
-from .backends.pipelined import PipelinedReport, StageStats, \
-    adaptive_depth
+from .backends.pipelined import (
+    DEPTH_SOURCES,
+    PipelinedReport,
+    StageStats,
+    adaptive_depth,
+    seed_depth,
+)
 from .backends.process_pipelined import (
     LookaheadDealer,
     ProcessPipelinedReport,
+)
+from .resctl import (
+    DEFAULT_ALLOCATOR,
+    DepthGrant,
+    NodeAllocator,
+    OnlineEstimator,
+    StageMonitor,
+    StageSummary,
+    fold_worker_realized,
+    summarize_calibration,
 )
 from .hybrid import HyScaleGNN
 from .executor import ThreadedExecutor
@@ -122,6 +144,16 @@ __all__ = [
     "LookaheadDealer",
     "StageStats",
     "adaptive_depth",
+    "seed_depth",
+    "DEPTH_SOURCES",
+    "DEFAULT_ALLOCATOR",
+    "DepthGrant",
+    "NodeAllocator",
+    "OnlineEstimator",
+    "StageMonitor",
+    "StageSummary",
+    "fold_worker_realized",
+    "summarize_calibration",
     "SharedFeatureStore",
     "SharedPrefetchSpec",
     "SharedSamplerSpec",

@@ -45,6 +45,7 @@ import abc
 from typing import Any, ClassVar
 
 from ..core import TrainingSession
+from ..resctl import StageMonitor
 
 
 class ExecutionBackend(abc.ABC):
@@ -65,8 +66,23 @@ class ExecutionBackend(abc.ABC):
     #: coverage, conservation and closeness instead of bit-parity).
     conformance_tier: ClassVar[str] = "strict"
 
+    #: Does this backend overlap the next iteration's feature transfer
+    #: with the current iteration's gradient pull on the PCIe link?
+    #: Gates the timing plane's duplex-contention derate
+    #: (:meth:`TrainingSession.duration_row`). ``True`` by default:
+    #: the virtual reference models the overlapped pipeline whenever
+    #: prefetching is configured, and the strict planes must price
+    #: their rows identically to it by contract. A lock-step
+    #: statistical plane whose transfer strictly precedes the pull
+    #: (the worker-sampling plane) overrides this to ``False``.
+    overlaps_transfer: ClassVar[bool] = True
+
     def __init__(self, session: TrainingSession) -> None:
         self.session = session
+        #: Realized per-stage wall-time monitor (resctl stage 1) —
+        #: every live plane feeds it; overlapped planes additionally
+        #: calibrate from it through their estimator.
+        self.monitor = StageMonitor()
 
     @abc.abstractmethod
     def run_epoch(self, max_iterations: int | None = None) -> Any:

@@ -71,10 +71,67 @@ from ...perfmodel.model import StageTimes, WorkloadSplit
 from ...sim.trace import Timeline
 from ..prefetch import PrefetchBuffer
 from ..protocol import ProtocolLog, Signal
+from ..resctl import (
+    DEFAULT_ALLOCATOR,
+    NodeAllocator,
+    OnlineEstimator,
+    fold_worker_realized,
+)
 from .base import ExecutionBackend
 
 #: Producer stages in pipeline order (the train stage consumes).
 PRODUCER_STAGES = ("sample", "gather", "transfer")
+
+#: Valid values of the overlapped planes' ``depth_source`` knob.
+DEPTH_SOURCES = ("realized", "model")
+
+
+def resolve_depth_source(depth_source: str | None) -> str:
+    """Resolve an overlapped backend's ``depth_source`` knob.
+
+    ``"realized"`` (the default) steers ``adaptive_depth`` and
+    ``drm_step`` from estimator-calibrated stage times — monitored
+    wall clocks corrected onto the analytic model's scale;
+    ``"model"`` reproduces the purely-analytic (pre-calibration)
+    trajectories bit for bit, which is what the regression pins and
+    the bit-parity tests construct with.
+    """
+    if depth_source is None:
+        return "realized"
+    if depth_source not in DEPTH_SOURCES:
+        raise ProtocolError(
+            f"unknown depth_source {depth_source!r}; expected one of "
+            f"{DEPTH_SOURCES}")
+    return depth_source
+
+
+def seed_depth(session, initial_depth: int, cap: int,
+               depth_source: str, estimator=None) -> int:
+    """Effective look-ahead for the first window, before any timing
+    feedback exists (the iteration-0 depth bugfix).
+
+    ``adaptive_depth`` is only consulted after the first
+    ``timing_step``, so historically iteration 0 always ran at the
+    configured depth regardless of stage ratios. Under
+    ``depth_source="realized"`` a timing+prefetch session now starts
+    from the floor — there is no realized signal yet, so claiming the
+    full configured window is unjustified — or from the calibrated
+    steady-state estimate once the estimator is warm (e.g. a previous
+    run through the same backend instance). Sessions that will never
+    adapt (functional-only, or prefetch off) keep ``initial_depth``:
+    with no feedback loop, a floor-seeded window would throttle the
+    whole run, not just its first iterations. ``depth_source="model"``
+    preserves the prior trajectory exactly (the regression-pinned
+    behavior).
+    """
+    if depth_source != "realized":
+        return initial_depth
+    if not (session.has_timing and session.sys_cfg.prefetch):
+        return initial_depth
+    if estimator is not None and estimator.is_warm():
+        times = estimator.calibrate(session.stage_times(None, None))
+        return adaptive_depth(times, cap=cap)
+    return 1
 
 
 def resolve_depths(session, initial_depth: int | None,
@@ -155,7 +212,14 @@ def fold_stage_stats(stage: str,
     high-water maxed, occupancy averaged). Shared by the pipelined
     plane (folding over its in-process buffers) and the fused process
     plane (folding over per-worker accounting shipped back over the
-    pipes), so the overlap report can never diverge between them."""
+    pipes), so the overlap report can never diverge between them.
+
+    An empty ``entries`` list (a worker whose shard was empty, a stage
+    no buffer ever carried) folds to a zeroed record rather than
+    tripping ``max()``/``np.mean`` on an empty sequence."""
+    if not entries:
+        return StageStats(stage=stage, items=0, high_water=0,
+                          mean_occupancy=0.0)
     return StageStats(
         stage=stage,
         items=sum(e[0] for e in entries),
@@ -202,6 +266,10 @@ class PipelinedReport:
     depth_history: list[tuple[int, int]] = field(default_factory=list)
     prefetch_high_water: int = 0
     kernel_stats: dict[str, int] = field(default_factory=dict)
+    #: Per-stage model-vs-realized calibration digest (the resctl
+    #: estimator's ``summary()``): correction factor, relative error,
+    #: observation count, warmth. Empty on functional-only sessions.
+    calibration: dict[str, dict] = field(default_factory=dict)
 
     def overlap_summary(self) -> str:
         """One-line per-stage overlap report for benches/logs."""
@@ -231,6 +299,16 @@ class PipelinedBackend(ExecutionBackend):
     timeout_s:
         Watchdog (a monotonic deadline) on every blocking stage handoff
         — a wedged pipeline fails fast instead of hanging the suite.
+    depth_source:
+        ``"realized"`` (default) calibrates the timing plane against
+        monitored stage wall times before it drives ``adaptive_depth``
+        and ``drm_step``; ``"model"`` reproduces the purely-analytic
+        trajectories bit for bit (see :func:`resolve_depth_source`).
+    allocator:
+        The node-level :class:`~repro.runtime.resctl.NodeAllocator`
+        arbitrating look-ahead depth across concurrent sessions
+        (defaults to the process-global one). The run registers on
+        entry and releases in a ``finally``.
     """
 
     name = "pipelined"
@@ -238,13 +316,23 @@ class PipelinedBackend(ExecutionBackend):
 
     def __init__(self, session, initial_depth: int | None = None,
                  max_depth: int | None = None,
-                 timeout_s: float = 60.0) -> None:
+                 timeout_s: float = 60.0,
+                 depth_source: str | None = None,
+                 allocator: NodeAllocator | None = None) -> None:
         super().__init__(session)
         self.initial_depth, self.max_depth = resolve_depths(
             session, initial_depth, max_depth)
         if timeout_s <= 0:
             raise ProtocolError("timeout_s must be positive")
         self.timeout_s = timeout_s
+        self.depth_source = resolve_depth_source(depth_source)
+        self.allocator = allocator if allocator is not None \
+            else DEFAULT_ALLOCATOR
+        #: Calibrates the analytic model against the monitored wall
+        #: times; persists across runs, so a second run on the same
+        #: backend starts warm.
+        self.estimator = OnlineEstimator(monitor=None)
+        self._grant = None
 
     # ------------------------------------------------------------------
     def run_epoch(self, max_iterations: int | None = None
@@ -264,11 +352,33 @@ class PipelinedBackend(ExecutionBackend):
         """
         if iterations < 1:
             raise ProtocolError("iterations must be >= 1")
+        # Claim a share of the node's look-ahead budget for this run;
+        # the finally returns it the moment the run ends (success or
+        # failure), so co-tenant sessions' caps rise immediately.
+        self._grant = self.allocator.register(
+            name=f"{self.name}:{self.session.dataset.name}",
+            max_depth=self.max_depth)
+        try:
+            return self._run_overlapped(iterations)
+        finally:
+            self._grant.release()
+            self._grant = None
+
+    def _depth_cap(self) -> int:
+        """Live adaptive-depth cap: the configured ``max_depth``
+        clamped by this run's current allocator share."""
+        cap = self.max_depth
+        if self._grant is not None and not self._grant.released:
+            cap = min(cap, self._grant.depth_cap)
+        return max(1, cap)
+
+    def _run_overlapped(self, iterations: int) -> PipelinedReport:
         s = self.session
         n = s.num_trainers
         report = PipelinedReport(iterations=iterations)
         rows: list[list[float]] = []
-        depth = self.initial_depth
+        depth = seed_depth(s, self.initial_depth, self._depth_cap(),
+                           self.depth_source, self.estimator)
         report.depth_history.append((0, depth))
 
         # One buffer per (stage, trainer): the stage's output queue.
@@ -308,10 +418,13 @@ class PipelinedBackend(ExecutionBackend):
                         return
                     it, targets = item
                     if targets is None:
-                        out = (it, 0, None, None)
+                        out = (it, 0, None, None, 0.0)
                     else:
+                        t0 = time.perf_counter()
                         mb = s.sample_stage(targets)
-                        out = (it, int(targets.size), mb, mb.stats())
+                        dt = time.perf_counter() - t0
+                        out = (it, int(targets.size), mb, mb.stats(),
+                               dt)
                     bufs["gather"][idx].put(out,
                                             timeout=self.timeout_s)
             except BaseException as exc:
@@ -325,10 +438,13 @@ class PipelinedBackend(ExecutionBackend):
                     if item is None:
                         bufs["transfer"][idx].close()
                         return
-                    it, size, mb, st = item
+                    it, size, mb, st, dt_sample = item
+                    t0 = time.perf_counter()
                     x0 = s.gather_stage(mb) if mb is not None else None
+                    dt_gather = time.perf_counter() - t0
                     bufs["transfer"][idx].put(
-                        (it, size, mb, st, x0), timeout=self.timeout_s)
+                        (it, size, mb, st, x0, dt_sample, dt_gather),
+                        timeout=self.timeout_s)
             except BaseException as exc:
                 fail(exc)
 
@@ -341,13 +457,17 @@ class PipelinedBackend(ExecutionBackend):
                     if item is None:
                         bufs["train"][idx].close()
                         return
-                    it, size, mb, st, x0 = item
+                    it, size, mb, st, x0, dt_sample, dt_gather = item
                     labels = None
+                    dt_transfer = 0.0
                     if mb is not None:
+                        t0 = time.perf_counter()
                         x0 = s.transfer_stage(x0, kind)
+                        dt_transfer = time.perf_counter() - t0
                         labels = s.labels_for(mb)
                     bufs["train"][idx].put(
-                        (it, size, mb, st, x0, labels),
+                        (it, size, mb, st, x0, labels,
+                         (dt_sample, dt_gather, dt_transfer)),
                         timeout=self.timeout_s)
             except BaseException as exc:
                 fail(exc)
@@ -396,6 +516,8 @@ class PipelinedBackend(ExecutionBackend):
         report.replicas_consistent = \
             s.synchronizer.replicas_consistent()
         self._aggregate_stage_stats(bufs, report)
+        if s.has_timing:
+            report.calibration = self.estimator.summary()
         if s.has_timing and rows:
             timeline = s.make_pipeline().run(rows)
             report.timeline = timeline
@@ -414,6 +536,7 @@ class PipelinedBackend(ExecutionBackend):
         sizes: list[int] = []
         losses: list[float] = []
         accs: list[float] = []
+        per_trainer: list[tuple[str, dict]] = []
 
         for idx, trainer in enumerate(s.trainers):
             try:
@@ -427,7 +550,7 @@ class PipelinedBackend(ExecutionBackend):
                     ProtocolError(
                         f"pipeline for trainer {idx} ended before "
                         f"iteration {it}")
-            rit, size, mb, st, x0, labels = item
+            rit, size, mb, st, x0, labels, durs = item
             if rit != it:
                 raise ProtocolError(
                     f"trainer {idx} received iteration {rit}, "
@@ -439,8 +562,14 @@ class PipelinedBackend(ExecutionBackend):
             sizes.append(size)
             if mb is None:
                 trainer.model.zero_grad()
+                per_trainer.append((trainer.kind, {}))
                 continue
+            t0 = time.perf_counter()
             rep = trainer.train_minibatch(mb, x0, labels, s.degrees)
+            per_trainer.append((trainer.kind,
+                                {"sample": durs[0], "load": durs[1],
+                                 "transfer": durs[2],
+                                 "train": time.perf_counter() - t0}))
             report.total_edges += st.total_edges
             losses.append(rep.loss)
             accs.append(rep.accuracy)
@@ -449,20 +578,27 @@ class PipelinedBackend(ExecutionBackend):
         if not any(sz > 0 for sz in sizes):
             raise ProtocolError(
                 f"iteration {it} dispatched no work to any trainer")
+        sync_start = time.perf_counter()
         s.reduce_and_step(sizes, it)
+        sync_s = time.perf_counter() - sync_start
         report.protocol_log.record(it, Signal.SYNC, "synchronizer")
         report.protocol_log.record(it, Signal.ITER_START, "runtime")
         report.losses.append(float(np.mean(losses)))
         report.accuracies.append(float(np.mean(accs)))
 
+        realized = fold_worker_realized(per_trainer, sync_s)
+        self.monitor.observe_times(realized)
         if s.has_timing:
-            times, row, split = s.timing_step(stats_cpu, stats_accel,
-                                              it)
+            times, row, split = s.timing_step(
+                stats_cpu, stats_accel, it,
+                estimator=self.estimator, realized=realized,
+                calibrate=self.depth_source == "realized",
+                overlapped=self.overlaps_transfer)
             rows.append(row)
             report.stage_history.append(times)
             report.split_history.append(split)
             if s.sys_cfg.prefetch:
-                want = adaptive_depth(times, cap=self.max_depth)
+                want = adaptive_depth(times, cap=self._depth_cap())
                 if want != depth:
                     for stage_bufs in bufs.values():
                         for b in stage_bufs:

@@ -55,6 +55,7 @@ echoes), DRM work conservation, and loss/parameter closeness.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
@@ -64,12 +65,15 @@ import numpy as np
 
 from ...errors import ProtocolError, WorkerError
 from ..prefetch import PrefetchBuffer
+from ..resctl import DEFAULT_ALLOCATOR, NodeAllocator, OnlineEstimator
 from .pipelined import (
     PRODUCER_STAGES,
     StageStats,
     adaptive_depth,
     fold_stage_stats,
+    resolve_depth_source,
     resolve_depths,
+    seed_depth,
     summarize_overlap,
 )
 from .process_pool import _WorkerSpec, _run_worker
@@ -224,10 +228,14 @@ def _serve_overlapped(conn, replica, spec: _WorkerSpec,
                     return
                 it, targets = item
                 if targets is None:
-                    out = (it, None, None, None)
+                    out = (it, None, None, None, 0.0)
                 else:
+                    t0 = time.perf_counter()
                     mb = replica.sampler.sample(targets)
-                    out = (it, mb, mb.stats(), np.asarray(mb.targets))
+                    dt = time.perf_counter() - t0
+                    replica.note_stage("sample", dt)
+                    out = (it, mb, mb.stats(), np.asarray(mb.targets),
+                           dt)
                 bufs["gather"].put(out, timeout=timeout)
         except BaseException as exc:
             fail(exc)
@@ -239,11 +247,17 @@ def _serve_overlapped(conn, replica, spec: _WorkerSpec,
                 if item is None:
                     bufs["transfer"].close()
                     return
-                it, mb, st, echoed = item
-                x0 = gather_feature_rows(replica.features, mb) \
-                    if mb is not None else None
-                bufs["transfer"].put((it, mb, st, echoed, x0),
-                                     timeout=timeout)
+                it, mb, st, echoed, dt_sample = item
+                dt = 0.0
+                x0 = None
+                if mb is not None:
+                    t0 = time.perf_counter()
+                    x0 = gather_feature_rows(replica.features, mb)
+                    dt = time.perf_counter() - t0
+                    replica.note_stage("load", dt)
+                bufs["transfer"].put(
+                    (it, mb, st, echoed, x0, dt_sample, dt),
+                    timeout=timeout)
         except BaseException as exc:
             fail(exc)
 
@@ -254,14 +268,20 @@ def _serve_overlapped(conn, replica, spec: _WorkerSpec,
                 if item is None:
                     bufs["train"].close()
                     return
-                it, mb, st, echoed, x0 = item
+                it, mb, st, echoed, x0, dt_sample, dt_load = item
                 labels = None
+                dt = 0.0
                 if mb is not None:
+                    t0 = time.perf_counter()
                     x0 = apply_transfer_policy(
                         x0, spec.kind, spec.transfer_precision)
                     labels = replica.labels[mb.targets]
-                bufs["train"].put((it, mb, st, echoed, x0, labels),
-                                  timeout=timeout)
+                    dt = time.perf_counter() - t0
+                    replica.note_stage("transfer", dt)
+                bufs["train"].put(
+                    (it, mb, st, echoed, x0, labels,
+                     (dt_sample, dt_load, dt)),
+                    timeout=timeout)
         except BaseException as exc:
             fail(exc)
 
@@ -271,13 +291,19 @@ def _serve_overlapped(conn, replica, spec: _WorkerSpec,
                 item = bufs["train"].get(timeout=timeout)
                 if item is None:
                     return
-                it, mb, st, echoed, x0, labels = item
+                it, mb, st, echoed, x0, labels, durs = item
                 if mb is not None:
+                    t0 = time.perf_counter()
                     rep = replica.node.train_minibatch(
                         mb, x0, labels, replica.degrees)
+                    dt_train = time.perf_counter() - t0
+                    replica.note_stage("train", dt_train)
                     safe_send(("result", it, rep.loss, rep.accuracy,
                                st, echoed,
-                               replica.model.get_flat_grads()))
+                               replica.model.get_flat_grads(),
+                               {"sample": durs[0], "load": durs[1],
+                                "transfer": durs[2],
+                                "train": dt_train}))
                 # The per-iteration barrier: wait for this iteration's
                 # averaged gradients (idle iterations included), then
                 # mirror the parent's SGD step — replicas stay
@@ -346,6 +372,9 @@ def _serve_overlapped(conn, replica, spec: _WorkerSpec,
                 drain()
                 safe_send(("kstats",
                            COUNTERS.delta(counters_baseline)))
+            elif tag == "wstats":
+                drain()
+                safe_send(("wstats", replica.wstats()))
             elif tag == "stop":
                 return
             else:
@@ -406,6 +435,11 @@ class ProcessPipelinedReport(ProcessSamplingReport):
         field(default_factory=list)
     dealt_sizes: list[tuple[int, ...]] = field(default_factory=list)
     prefetch_high_water: int = 0
+    #: Per-stage model-vs-realized calibration report from the
+    #: backend's :class:`~repro.runtime.resctl.OnlineEstimator`
+    #: (correction factor, relative error, observation count) —
+    #: populated on timing sessions under either ``depth_source``.
+    calibration: dict[str, dict] = field(default_factory=dict)
 
     def overlap_summary(self) -> str:
         """One-line per-stage overlap report for benches/logs."""
@@ -436,19 +470,76 @@ class ProcessPipelinedBackend(ProcessSamplingBackend):
         the pipe. Defaults to 8 or the initial depth, whichever is
         larger — default construction is valid for any session; an
         explicitly-passed cap below the initial depth fails loudly.
+    depth_source:
+        What steers the adaptive look-ahead and the DRM engine on
+        timing sessions: ``"realized"`` (the default) calibrates the
+        analytic stage times against monitored wall clocks through the
+        backend's :class:`~repro.runtime.resctl.OnlineEstimator`;
+        ``"model"`` reproduces the purely-analytic PR7 trajectories
+        bit for bit (the regression-pinned behavior).
+    allocator:
+        The :class:`~repro.runtime.resctl.NodeAllocator` arbitrating
+        look-ahead depth across concurrent sessions (defaults to the
+        process-global :data:`~repro.runtime.resctl.DEFAULT_ALLOCATOR`).
     """
 
     name = "process_pipelined"
     conformance_tier = "statistical"
 
+    #: The fused plane keeps dealt batches in flight across the sync
+    #: barrier, so a worker's next transfer genuinely overlaps the
+    #: parent's gradient pull — the duplex derate its lock-step parent
+    #: class switches off applies again here.
+    overlaps_transfer = True
+
     def __init__(self, session, timeout_s: float = 120.0,
                  mp_context: str | None = None,
                  initial_depth: int | None = None,
-                 max_depth: int | None = None) -> None:
+                 max_depth: int | None = None,
+                 depth_source: str | None = None,
+                 allocator: NodeAllocator | None = None) -> None:
         super().__init__(session, timeout_s=timeout_s,
                          mp_context=mp_context)
         self.initial_depth, self.max_depth = resolve_depths(
             session, initial_depth, max_depth)
+        self.depth_source = resolve_depth_source(depth_source)
+        self.allocator = allocator if allocator is not None \
+            else DEFAULT_ALLOCATOR
+        # Persists across runs on the same backend instance, so a
+        # second run seeds its first window from calibrated estimates
+        # instead of the floor.
+        self.estimator = OnlineEstimator(monitor=None)
+        self._grant = None
+
+    def run(self, iterations: int):
+        """Register this run with the node allocator for the duration
+        of the synchronized loop; the grant is released (budget
+        returned to concurrent sessions) no matter how the run ends."""
+        if iterations < 1:
+            raise ProtocolError("iterations must be >= 1")
+        self._grant = self.allocator.register(
+            name=f"{self.name}:{self.session.dataset.name}",
+            max_depth=self.max_depth)
+        try:
+            return super().run(iterations)
+        finally:
+            self._grant.release()
+            self._grant = None
+
+    def _depth_cap(self) -> int:
+        """Live adaptive-depth cap: the configured ``max_depth``
+        clamped by this run's current allocator share."""
+        cap = self.max_depth
+        if self._grant is not None and not self._grant.released:
+            cap = min(cap, self._grant.depth_cap)
+        return max(1, cap)
+
+    # -- resctl hooks --------------------------------------------------
+    def _timing_estimator(self):
+        return self.estimator if self.session.has_timing else None
+
+    def _timing_calibrate(self) -> bool:
+        return self.depth_source == "realized"
 
     # -- subclass hooks ------------------------------------------------
     def _worker_entry(self):
@@ -483,7 +574,8 @@ class ProcessPipelinedBackend(ProcessSamplingBackend):
         """
         s = self.session
         n = s.num_trainers
-        depth = self.initial_depth
+        depth = seed_depth(s, self.initial_depth, self._depth_cap(),
+                           self.depth_source, self.estimator)
         report.depth_history.append((0, depth))
         dealer = LookaheadDealer(s.plan.iterate(iterations), depth)
 
@@ -524,7 +616,7 @@ class ProcessPipelinedBackend(ProcessSamplingBackend):
             times = self._sync_tail(it, planned, conns, report, rows,
                                     stats_by_idx, losses, accs)
             if times is not None and s.sys_cfg.prefetch:
-                want = adaptive_depth(times, cap=self.max_depth)
+                want = adaptive_depth(times, cap=self._depth_cap())
                 if want != dealer.depth:
                     dealer.set_depth(want)
                     report.depth_history.append((it + 1, want))
@@ -544,6 +636,8 @@ class ProcessPipelinedBackend(ProcessSamplingBackend):
         # stage threads have drained by now, so the snapshots are
         # final).
         super()._finalize(conns, report)
+        if self.session.has_timing:
+            report.calibration = self.estimator.summary()
 
     def _collect_stage_stats(self, conns, report) -> None:
         """Gather every worker's stage-buffer accounting and aggregate
@@ -561,9 +655,10 @@ class ProcessPipelinedBackend(ProcessSamplingBackend):
                     "request")
             for stage, row in payload.items():
                 per_stage[stage].append(row)
+        # No skip on empty: `fold_stage_stats` folds an empty entry
+        # list to a zeroed StageStats (a zero-worker pool still yields
+        # a well-formed report).
         for stage, entries in per_stage.items():
-            if not entries:
-                continue
             report.stage_stats[stage] = fold_stage_stats(stage,
                                                          entries)
         if report.stage_stats:

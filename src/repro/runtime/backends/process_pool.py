@@ -55,6 +55,7 @@ from ...errors import ProtocolError, StageTimeoutError, WorkerError
 from ...perfmodel.model import StageTimes, WorkloadSplit
 from ...sim.trace import Timeline
 from ..protocol import ProtocolLog, Signal
+from ..resctl import map_worker_totals
 from .base import ExecutionBackend
 
 
@@ -103,6 +104,12 @@ class ProcessReport:
     virtual_time_s: float = 0.0
     timeline: Timeline = field(default_factory=Timeline)
     kernel_stats: dict[str, int] = field(default_factory=dict)
+    #: Realized worker-side stage accounting summed over the pool,
+    #: ``{canonical_stage: (count, total_s)}`` — the ``wstats``
+    #: round trip (sibling of ``kernel_stats``), attributed onto
+    #: the model's stage columns by each worker's trainer kind.
+    stage_seconds: dict[str, tuple[int, float]] = field(
+        default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -146,18 +153,42 @@ class _WorkerReplica:
         # in flight on stage threads and must NOT use this pool — its
         # serve loop bypasses `train` (see docs/kernels.md).
         self.pool = BufferPool()
+        # Realized stage accounting: cumulative (count, total seconds)
+        # per raw stage name for the ``wstats`` pipe reply, plus the
+        # most recent per-batch durations (the worker-sampling plane
+        # echoes those with each result so the parent can fold a
+        # per-iteration realized StageTimes).
+        self.stage_totals: dict[str, list] = {}
+        self.last_stage_s: dict[str, float] = {}
+
+    def note_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate one realized stage duration (wstats + snapshot)."""
+        entry = self.stage_totals.setdefault(stage, [0, 0.0])
+        entry[0] += 1
+        entry[1] += seconds
+        self.last_stage_s[stage] = seconds
+
+    def wstats(self) -> dict[str, tuple[int, float]]:
+        """The cumulative ``{raw_stage: (count, total_s)}`` payload."""
+        return {stage: (int(c), float(t))
+                for stage, (c, t) in self.stage_totals.items()}
 
     def train(self, spec: _WorkerSpec, mb):
         """The session's exact feature path (gather, float64 widen,
         accel quantization — fused on the fast kernel tier) against the
         shared store, then one forward/backward."""
         from ..core import gather_batch_features
+        t0 = time.perf_counter()
         x0 = gather_batch_features(self.features, mb, spec.kind,
                                    spec.transfer_precision,
                                    pool=self.pool)
-        return self.node.train_minibatch(mb, x0,
-                                         self.labels[mb.targets],
-                                         self.degrees)
+        self.note_stage("load", time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        rep = self.node.train_minibatch(mb, x0,
+                                        self.labels[mb.targets],
+                                        self.degrees)
+        self.note_stage("train", time.perf_counter() - t0)
+        return rep
 
     def release_views(self) -> None:
         """Drop shm-backed views before unmapping, else ``close()``
@@ -200,6 +231,8 @@ def _serve(conn, replica: _WorkerReplica, spec: _WorkerSpec,
             conn.send(("params", replica.model.get_flat_params()))
         elif tag == "kstats":
             conn.send(("kstats", COUNTERS.delta(counters_baseline)))
+        elif tag == "wstats":
+            conn.send(("wstats", replica.wstats()))
         elif tag == "stop":
             return
         else:
@@ -429,6 +462,24 @@ class ProcessPoolBackend(ExecutionBackend):
                     f"worker {idx} sent {tag!r} instead of its kernel "
                     "counter snapshot")
             merge_counts(report.kernel_stats, counts)
+        # Realized stage accounting, same round-trip discipline: ask
+        # everyone, then drain in order. Raw worker stage names map
+        # onto the model's canonical columns by trainer kind before
+        # summing, so the report (and the monitor) speak StageTimes.
+        s = self.session
+        for idx in range(len(conns)):
+            self._send(conns, idx, ("wstats",))
+        for idx in range(len(conns)):
+            tag, totals = self._recv(conns, idx)
+            if tag != "wstats":
+                raise ProtocolError(
+                    f"worker {idx} sent {tag!r} instead of its stage "
+                    "wall-time accounting")
+            mapped = map_worker_totals(s.trainers[idx].kind, totals)
+            for stage, (count, total_s) in mapped.items():
+                c, t = report.stage_seconds.get(stage, (0, 0.0))
+                report.stage_seconds[stage] = (c + count, t + total_s)
+            self.monitor.merge_totals(mapped)
 
     def _run_iteration(self, it: int, planned, conns, report,
                        rows) -> None:
@@ -457,16 +508,21 @@ class ProcessPoolBackend(ExecutionBackend):
         ``None``. This exists once, so the trajectory semantics can
         never drift between process planes."""
         s = self.session
+        sync_start = time.perf_counter()
         avg = s.synchronizer.all_reduce(list(planned.batch_sizes), it)
         report.protocol_log.record(it, Signal.SYNC, "synchronizer")
         for idx in range(len(conns)):
             self._send(conns, idx, ("apply", it, avg))
         for opt in s.optimizers:
             opt.step()
+        sync_s = time.perf_counter() - sync_start
         report.protocol_log.record(it, Signal.ITER_START, "runtime")
 
         report.losses.append(float(np.mean(losses)))
         report.accuracies.append(float(np.mean(accs)))
+        realized = self._realized_stage_times(sync_s)
+        if realized:
+            self.monitor.observe_times(realized)
         if not s.has_timing:
             return None
         # Realized batch stats in trainer order (idle trainers hold
@@ -481,11 +537,40 @@ class ProcessPoolBackend(ExecutionBackend):
                 stats_cpu = st
             else:
                 stats_accel.append(st)
-        times, row, split = s.timing_step(stats_cpu, stats_accel, it)
+        times, row, split = s.timing_step(
+            stats_cpu, stats_accel, it,
+            estimator=self._timing_estimator(),
+            realized=realized,
+            calibrate=self._timing_calibrate(),
+            overlapped=self.overlaps_transfer)
         rows.append(row)
         report.stage_history.append(times)
         report.split_history.append(split)
         return times
+
+    # ------------------------------------------------------------------
+    # resctl hooks — the lock-step defaults keep this plane's timing
+    # step byte-equal to PR7 (no estimator, no realized feed, no
+    # calibration); the worker-sampling planes override the first,
+    # the fused overlapped plane all three.
+    # ------------------------------------------------------------------
+    def _realized_stage_times(self, sync_s: float):
+        """Per-iteration realized stage map (canonical keys) for the
+        iteration just synchronized, or ``None`` when this plane ships
+        no per-batch timings (the parent-sampling plane only learns
+        worker stage times from the end-of-run ``wstats`` totals)."""
+        return None
+
+    def _timing_estimator(self):
+        """The :class:`OnlineEstimator` fed by :meth:`_sync_tail`, or
+        ``None`` on planes that never calibrate."""
+        return None
+
+    def _timing_calibrate(self) -> bool:
+        """Whether the timing step should *apply* the estimator's
+        corrections (``depth_source == "realized"`` on the fused
+        plane) rather than just observe."""
+        return False
 
     def _dispatch(self, it: int, planned, conns, report,
                   stats_by_idx) -> list[int]:
@@ -495,6 +580,7 @@ class ProcessPoolBackend(ExecutionBackend):
         wire form. Returns the busy worker indices."""
         s = self.session
         busy: list[int] = []
+        sample_s = 0.0
         for idx, trainer in enumerate(s.trainers):
             targets = planned.assignments[idx]
             if targets is None:
@@ -503,7 +589,9 @@ class ProcessPoolBackend(ExecutionBackend):
                 # averaged update when it arrives).
                 trainer.model.zero_grad()
                 continue
+            t0 = time.perf_counter()
             mb = s.sampler.sample(targets)
+            sample_s += time.perf_counter() - t0
             st = mb.stats()
             report.total_edges += st.total_edges
             stats_by_idx[idx] = st
@@ -513,6 +601,11 @@ class ProcessPoolBackend(ExecutionBackend):
                  for b in mb.blocks],
                 mb.feature_dim))
             busy.append(idx)
+        if busy:
+            # Sampling is parent-side CPU work on this plane — feed the
+            # monitor directly (observability only; never the timing
+            # step, which stays bit-equal to the virtual reference).
+            self.monitor.observe("sample_cpu", sample_s)
         return busy
 
     def _collect(self, it: int, busy, conns, report, stats_by_idx,

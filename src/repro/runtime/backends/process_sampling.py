@@ -53,11 +53,13 @@ follow is documented in ``docs/backends.md``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ...errors import WorkerError
+from ..resctl import fold_worker_realized
 from .process_pool import (
     ProcessPoolBackend,
     ProcessReport,
@@ -100,10 +102,16 @@ def _train_sharded_targets(replica: _WorkerReplica, spec: _WorkerSpec,
     kit's per-worker coverage assertion keys off this echo.
     """
     _, it, targets = msg
+    t0 = time.perf_counter()
     mb = replica.sampler.sample(targets)
+    replica.note_stage("sample", time.perf_counter() - t0)
     rep = replica.train(spec, mb)
+    # The per-batch stage snapshot (sample here, load/train inside
+    # `replica.train`) rides along with the result so the parent can
+    # fold one realized StageTimes per iteration for its monitor.
     return ("result", it, rep.loss, rep.accuracy, mb.stats(),
-            np.asarray(mb.targets), replica.model.get_flat_grads())
+            np.asarray(mb.targets), replica.model.get_flat_grads(),
+            dict(replica.last_stage_s))
 
 
 def _setup_worker_sampling(store, spec: _WorkerSpec):
@@ -133,6 +141,15 @@ class ProcessSamplingBackend(ProcessPoolBackend):
 
     name = "process_sampling"
     conformance_tier = "statistical"
+
+    #: Lock-step dealing: a worker's transfer for iteration ``i + 1``
+    #: cannot start until the parent has dealt it, which only happens
+    #: after iteration ``i``'s gradients were pulled — transfers and
+    #: gradient pulls never share the PCIe link in flight, so the
+    #: duplex-contention derate must not be priced into this plane's
+    #: rows. (The fused subclass keeps batches in flight across the
+    #: sync barrier and turns this back on.)
+    overlaps_transfer = False
 
     # -- subclass hooks ------------------------------------------------
     def _worker_entry(self):
@@ -182,18 +199,32 @@ class ProcessSamplingBackend(ProcessPoolBackend):
         from ..protocol import Signal
 
         s = self.session
+        self._iter_stage_s: dict[int, dict] = {}
         for idx in busy:
             msg = self._recv(conns, idx)
-            tag, rit, loss, acc, st, echoed, grads = msg
+            tag, rit, loss, acc, st, echoed, grads, stage_s = msg
             if tag != "result" or rit != it:
                 raise WorkerError(
                     f"worker {idx} answered {tag!r} for iteration "
                     f"{rit}, expected result for {it}")
             s.trainers[idx].model.set_flat_grads(grads)
             stats_by_idx[idx] = st
+            self._iter_stage_s[idx] = stage_s
             report.total_edges += st.total_edges
             report.worker_targets[idx].append(echoed)
             losses.append(loss)
             accs.append(acc)
             report.protocol_log.record(it, Signal.DONE,
                                        s.trainers[idx].name)
+
+    def _realized_stage_times(self, sync_s: float):
+        """Fold the iteration's per-worker stage snapshots (shipped
+        with each result) plus the parent-measured all-reduce into one
+        canonical realized stage map."""
+        stage_s = getattr(self, "_iter_stage_s", None)
+        if not stage_s:
+            return None
+        per_trainer = [(trainer.kind, stage_s.get(idx, {}))
+                       for idx, trainer in
+                       enumerate(self.session.trainers)]
+        return fold_worker_realized(per_trainer, sync_s)

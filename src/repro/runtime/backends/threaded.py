@@ -41,6 +41,7 @@ from ...perfmodel.model import StageTimes, WorkloadSplit
 from ...sim.trace import Timeline
 from ..prefetch import PrefetchBuffer
 from ..protocol import ProtocolLog, Signal
+from ..resctl import fold_worker_realized
 from .base import ExecutionBackend
 
 
@@ -147,6 +148,7 @@ class ThreadedBackend(ExecutionBackend):
             stats_cpu = None
             stats_accel: list = []
             edges_iter = 0.0
+            per_trainer: list[tuple[str, dict]] = []
             # Hand each trainer's item over as soon as it is ready so
             # trainer 0 can start while trainers 1..n-1 still load.
             for idx, trainer in enumerate(s.trainers):
@@ -157,17 +159,27 @@ class ThreadedBackend(ExecutionBackend):
                     buffers[idx].put((it, None, None, None),
                                      timeout=self.timeout_s)
                     continue
+                t0 = time.perf_counter()
                 mb = s.sampler.sample(targets)
+                dt_sample = time.perf_counter() - t0
                 st = mb.stats()
                 edges_iter += st.total_edges
                 if trainer.kind == "cpu":
                     stats_cpu = st
                 else:
                     stats_accel.append(st)
+                t0 = time.perf_counter()
                 x0 = s.load_features(mb, trainer.kind)
+                per_trainer.append((trainer.kind,
+                                    {"sample": dt_sample,
+                                     "load": time.perf_counter() - t0}))
                 buffers[idx].put((it, mb, x0, s.labels_for(mb)),
                                  timeout=self.timeout_s)
             report.total_edges += edges_iter
+            # Feed the realized sample/load wall clocks to the stage
+            # monitor (observability only — never the timing step,
+            # which stays bit-identical to the virtual reference).
+            self.monitor.observe_times(fold_worker_realized(per_trainer))
             if s.has_timing:
                 times, row, split = s.timing_step(stats_cpu,
                                                   stats_accel, it)
@@ -213,8 +225,13 @@ class ThreadedBackend(ExecutionBackend):
                         node.model.zero_grad()
                         result = (None, None, 0)
                     else:
+                        t0 = time.perf_counter()
                         rep = node.train_minibatch(mb, x0, labels,
                                                    s.degrees)
+                        self.monitor.observe(
+                            "train_cpu" if node.kind == "cpu"
+                            else "train_accel",
+                            time.perf_counter() - t0)
                         result = (rep.loss, rep.accuracy,
                                   rep.batch_targets)
                     with cond:
@@ -263,7 +280,10 @@ class ThreadedBackend(ExecutionBackend):
                         raise state["error"]
                     sizes = [state["results"][(it, i)][2]
                              for i in range(n)]
+                    t0 = time.perf_counter()
                     s.synchronizer.all_reduce(sizes, it)
+                    self.monitor.observe("sync",
+                                         time.perf_counter() - t0)
                     log.record(it, Signal.SYNC, "synchronizer")
                     state["done"] = 0
                     state["sync_iter"] = it

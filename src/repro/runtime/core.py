@@ -541,12 +541,24 @@ class TrainingSession:
             launches = 6 * self.train_cfg.num_layers * 2
         return launches * accel.kernel_launch_s
 
-    def duration_row(self, times: StageTimes) -> list[float]:
+    def duration_row(self, times: StageTimes,
+                     overlapped: bool | None = None) -> list[float]:
         """Pipeline-stage durations including the 'actual' extras the
         analytic model omits (paper §VI-C): kernel-launch latency and
         pipeline-flush overhead on the accelerator pass, plus PCIe
-        duplex contention between prefetch pushes and gradient pulls
-        (only present when the stages actually overlap)."""
+        duplex contention between prefetch pushes and gradient pulls.
+
+        The duplex derate models link contention that only exists when
+        the next iteration's feature push genuinely overlaps this
+        iteration's gradient pull, so it is gated on ``overlapped`` —
+        the executing backend's overlap capability
+        (:attr:`~repro.runtime.backends.base.ExecutionBackend.overlaps_transfer`).
+        ``None`` (legacy callers) defers to ``sys_cfg.prefetch``: the
+        reference plane models the overlapped pipeline whenever
+        prefetching is configured. A lock-step backend that resolves
+        transfer strictly before the pull passes ``False`` and never
+        pays the derate, however ``prefetch`` is set.
+        """
         self._require_timing()
         accel = self.platform.accelerator
         flush = accel.pipeline_flush_frac if accel is not None else 0.0
@@ -554,7 +566,9 @@ class TrainingSession:
                 if times.t_train_accel > 0 else 0.0)
         prop = max(prop, times.t_train_cpu) + times.t_sync
         transfer = times.t_transfer
-        if self.sys_cfg.prefetch and transfer > 0:
+        if overlapped is None:
+            overlapped = self.sys_cfg.prefetch
+        if overlapped and self.sys_cfg.prefetch and transfer > 0:
             transfer *= 1.0 + self.platform.pcie.duplex_derate
         return [times.t_sample, times.t_load, transfer,
                 prop + self.launch_overhead_s()]
@@ -566,7 +580,11 @@ class TrainingSession:
 
     def timing_step(self, stats_cpu: MiniBatchStats | None,
                     stats_accel: list[MiniBatchStats | None],
-                    iteration: int
+                    iteration: int, *,
+                    estimator=None,
+                    realized: dict[str, float] | None = None,
+                    calibrate: bool = False,
+                    overlapped: bool | None = None
                     ) -> tuple[StageTimes, list[float], WorkloadSplit]:
         """One timing-plane step over realized batch statistics.
 
@@ -577,9 +595,33 @@ class TrainingSession:
         history through this single hook, so the bookkeeping order —
         stage times from iteration ``i``'s stats, split snapshot, *then*
         DRM — can never drift between execution planes.
+
+        The resctl hooks are strictly opt-in, so planes that pass
+        nothing stay bit-identical to the uncalibrated contract:
+
+        * ``estimator`` — an
+          :class:`~repro.runtime.resctl.OnlineEstimator`; when given
+          with this iteration's ``realized`` wall times (canonical
+          stage keys, see :mod:`repro.runtime.resctl.monitor`) the
+          pair is observed for calibration;
+        * ``calibrate`` — when true (an overlapped backend with
+          ``depth_source="realized"``), the returned/recorded times
+          are the estimator's calibrated copy, so the duration row,
+          the DRM adjustment and the caller's adaptive look-ahead all
+          steer from monitored wall times. ``False`` observes without
+          feeding back — ``depth_source="model"`` still reports
+          calibration error while reproducing analytic trajectories
+          bit for bit;
+        * ``overlapped`` — the backend's transfer-overlap capability,
+          forwarded to :meth:`duration_row`.
         """
         times = self.stage_times(stats_cpu, stats_accel)
-        row = self.duration_row(times)
+        if estimator is not None:
+            if realized:
+                estimator.observe(realized, times)
+            if calibrate:
+                times = estimator.calibrate(times)
+        row = self.duration_row(times, overlapped=overlapped)
         split = self.split
         self.drm_step(times, iteration)
         return times, row, split

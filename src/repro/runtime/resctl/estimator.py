@@ -1,0 +1,236 @@
+"""Online model calibration (resctl stage 2 of 3).
+
+The :class:`~repro.perfmodel.model.PerformanceModel` predicts stage
+times from batch statistics and platform constants; on a live plane
+the realized wall times are the authoritative signal. The
+:class:`OnlineEstimator` closes the gap with one **multiplicative
+correction factor per stage**: every observation pairs a realized
+duration with the analytic prediction for the same iteration, the
+estimator maintains EWMAs of both sides, and the correction is their
+ratio — **confidence-weighted** so a handful of noisy samples cannot
+yank the model around, and **falling back to the analytic model until
+warm** (below ``warmup`` observations a stage's correction is exactly
+1.0, so a cold estimator is a no-op by construction).
+
+:meth:`calibrate` maps modelled :class:`StageTimes` to calibrated
+ones field by field; stages never observed stay analytic. The result
+is guaranteed finite and non-negative whatever the observations were
+(property-tested) — a calibration subsystem that can emit ``nan`` into
+``drm_step`` would be worse than no calibration at all.
+
+The overlapped backends feed calibrated times into ``adaptive_depth``
+and ``drm_step`` when their ``depth_source`` knob is ``"realized"``
+(the default); ``depth_source="model"`` keeps observing (so reports
+still expose the model-vs-realized error) but never calibrates,
+reproducing the uncalibrated trajectories bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Mapping
+
+from ...errors import ProtocolError
+from ...perfmodel.model import StageTimes
+from .monitor import REALIZED_STAGES, StageMonitor
+
+#: StageTimes field backing each canonical stage key.
+FIELD_BY_STAGE = {
+    "sample_cpu": "t_sample_cpu",
+    "sample_accel": "t_sample_accel",
+    "load": "t_load",
+    "transfer": "t_transfer",
+    "train_cpu": "t_train_cpu",
+    "train_accel": "t_train_accel",
+    "sync": "t_sync",
+}
+
+
+class OnlineEstimator:
+    """Per-stage multiplicative calibration of the analytic model.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor for the realized/modelled accumulators.
+    warmup:
+        Observations a stage needs before its correction deviates from
+        1.0 (the analytic-model fallback), and the half-life of the
+        confidence weight beyond it.
+    ratio_bounds:
+        Hard clamp on the correction factor — wall clocks and the
+        modelled hardware live on very different absolute scales, so
+        the bounds are wide; they exist to keep a denormal or an
+        outlier from producing a non-finite calibrated time.
+    monitor:
+        Optional :class:`StageMonitor`; every realized observation is
+        forwarded to it, so wiring one estimator gives a backend both
+        calibration *and* the monitoring surface.
+    """
+
+    def __init__(self, alpha: float = 0.3, warmup: int = 3,
+                 ratio_bounds: tuple[float, float] = (1e-9, 1e9),
+                 monitor: StageMonitor | None = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ProtocolError("estimator alpha must be in (0, 1]")
+        if warmup < 1:
+            raise ProtocolError("estimator warmup must be >= 1")
+        lo, hi = ratio_bounds
+        if not (0.0 < lo < hi and math.isfinite(hi)):
+            raise ProtocolError(
+                "ratio bounds must satisfy 0 < lo < hi < inf")
+        self.alpha = alpha
+        self.warmup = warmup
+        self.ratio_bounds = (float(lo), float(hi))
+        self.monitor = monitor
+        self._lock = threading.Lock()
+        self._count: dict[str, int] = {}
+        self._realized_ewma: dict[str, float] = {}
+        self._model_ewma: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, realized: Mapping[str, float],
+                model: StageTimes) -> None:
+        """Pair one iteration's realized stage map with its analytic
+        prediction. Invalid samples (non-finite, negative, or a stage
+        the model predicts as zero-time) are skipped — they carry no
+        calibratable ratio."""
+        if self.monitor is not None:
+            clean = {k: v for k, v in realized.items()
+                     if isinstance(v, (int, float))
+                     and math.isfinite(v) and v >= 0.0}
+            if clean:
+                self.monitor.observe_times(clean)
+        for stage, value in realized.items():
+            field = FIELD_BY_STAGE.get(stage)
+            if field is None:
+                continue
+            r = float(value)
+            m = float(getattr(model, field))
+            if not math.isfinite(r) or r <= 0.0:
+                continue
+            if not math.isfinite(m) or m <= 0.0:
+                continue
+            with self._lock:
+                self._count[stage] = self._count.get(stage, 0) + 1
+                prev_r = self._realized_ewma.get(stage)
+                prev_m = self._model_ewma.get(stage)
+                self._realized_ewma[stage] = r if prev_r is None else \
+                    self.alpha * r + (1.0 - self.alpha) * prev_r
+                self._model_ewma[stage] = m if prev_m is None else \
+                    self.alpha * m + (1.0 - self.alpha) * prev_m
+
+    # ------------------------------------------------------------------
+    def observations(self, stage: str) -> int:
+        with self._lock:
+            return self._count.get(stage, 0)
+
+    def is_warm(self, stage: str | None = None) -> bool:
+        """Whether ``stage`` (or, with ``None``, any stage) has enough
+        observations to deviate from the analytic model."""
+        with self._lock:
+            if stage is not None:
+                return self._count.get(stage, 0) >= self.warmup
+            return any(c >= self.warmup for c in self._count.values())
+
+    def correction(self, stage: str) -> float:
+        """The stage's confidence-weighted multiplicative correction.
+
+        ``realized_ewma / model_ewma``, clamped to ``ratio_bounds``,
+        blended toward 1.0 by the confidence weight
+        ``n / (n + warmup)`` — and exactly 1.0 below ``warmup``
+        observations (the analytic fallback)."""
+        with self._lock:
+            n = self._count.get(stage, 0)
+            if n < self.warmup:
+                return 1.0
+            r = self._realized_ewma[stage]
+            m = self._model_ewma[stage]
+        lo, hi = self.ratio_bounds
+        ratio = min(hi, max(lo, r / m)) if m > 0.0 else 1.0
+        if not math.isfinite(ratio):
+            return 1.0
+        confidence = n / (n + self.warmup)
+        corrected = 1.0 + confidence * (ratio - 1.0)
+        return corrected if math.isfinite(corrected) and \
+            corrected > 0.0 else 1.0
+
+    def calibrate(self, times: StageTimes) -> StageTimes:
+        """Calibrated copy of modelled ``times``: each field scaled by
+        its stage's correction. Unobserved (or cold) stages pass
+        through analytically; every output field is finite and
+        non-negative no matter what was observed."""
+        updates: dict[str, float] = {}
+        for stage, field in FIELD_BY_STAGE.items():
+            value = float(getattr(times, field))
+            c = self.correction(stage)
+            if c == 1.0:
+                continue
+            scaled = value * c
+            if not math.isfinite(scaled) or scaled < 0.0:
+                # Defensive: a pathological model value times a large
+                # correction must degrade to the analytic value, never
+                # poison DRM/adaptive-depth with nan/inf.
+                scaled = value if math.isfinite(value) and \
+                    value >= 0.0 else 0.0
+            updates[field] = scaled
+        return times.with_updates(**updates) if updates else times
+
+    # ------------------------------------------------------------------
+    def calibration_error(self) -> dict[str, float]:
+        """Per-stage relative model-vs-realized error
+        ``|model - realized| / realized`` over the EWMAs, for every
+        stage with at least one paired observation."""
+        out: dict[str, float] = {}
+        with self._lock:
+            for stage in self._count:
+                r = self._realized_ewma.get(stage)
+                m = self._model_ewma.get(stage)
+                if r is None or m is None or r <= 0.0:
+                    continue
+                out[stage] = abs(m - r) / r
+        return out
+
+    def summary(self) -> dict[str, dict]:
+        """Per-stage calibration digest for reports and benches:
+        ``{stage: {correction, error, observations, warm,
+        realized_ewma_s, model_ewma_s}}``."""
+        errors = self.calibration_error()
+        out: dict[str, dict] = {}
+        with self._lock:
+            stages = sorted(
+                self._count,
+                key=lambda s: (REALIZED_STAGES.index(s)
+                               if s in REALIZED_STAGES else
+                               len(REALIZED_STAGES), s))
+            snapshot = [(s, self._count[s],
+                         self._realized_ewma.get(s, 0.0),
+                         self._model_ewma.get(s, 0.0))
+                        for s in stages]
+        for stage, n, r_ewma, m_ewma in snapshot:
+            out[stage] = {
+                "correction": self.correction(stage),
+                "error": errors.get(stage, 0.0),
+                "observations": n,
+                "warm": n >= self.warmup,
+                "realized_ewma_s": r_ewma,
+                "model_ewma_s": m_ewma,
+            }
+        return out
+
+
+def summarize_calibration(calibration: Mapping[str, Mapping]) -> str:
+    """One-line per-stage model-vs-realized error report — the single
+    formatter behind the wall-clock bench's ``calib`` column. Shows
+    warm stages' relative error (``xN`` factors beyond 10x so wildly
+    mis-scaled models stay readable); ``"-"`` when nothing is warm
+    (functional sessions, cold estimators)."""
+    parts = []
+    for stage, digest in calibration.items():
+        if not digest.get("warm"):
+            continue
+        err = float(digest.get("error", 0.0))
+        parts.append(f"{stage}:{err:.0%}" if err < 10.0
+                     else f"{stage}:x{err:.0f}")
+    return " ".join(parts) if parts else "-"

@@ -164,10 +164,17 @@ def make_session(case: ConformanceCase,
 
 
 def run_backend(name: str, case: ConformanceCase,
-                dataset: GraphDataset):
-    """Execute ``case`` on backend ``name``; returns (session, report)."""
+                dataset: GraphDataset,
+                extra_kwargs: dict | None = None):
+    """Execute ``case`` on backend ``name``; returns (session, report).
+
+    ``extra_kwargs`` layers on top of :data:`BACKEND_KWARGS` for
+    one-off knob sweeps (e.g. conforming a backend under each of its
+    ``depth_source`` modes) without mutating the shared table.
+    """
     session = make_session(case, dataset)
-    backend = get_backend(name)(session, **BACKEND_KWARGS.get(name, {}))
+    kwargs = {**BACKEND_KWARGS.get(name, {}), **(extra_kwargs or {})}
+    backend = get_backend(name)(session, **kwargs)
     report = backend.run_epoch(case.max_iterations)
     return session, report
 
@@ -177,17 +184,20 @@ def _params(session: TrainingSession) -> list[np.ndarray]:
 
 
 def assert_backend_conforms(name: str, case: ConformanceCase,
-                            dataset: GraphDataset) -> None:
+                            dataset: GraphDataset,
+                            extra_kwargs: dict | None = None) -> None:
     """Assert backend ``name`` matches the virtual reference on ``case``
     at the tier its capability flag declares.
 
     ``strict`` backends get the bit-exact matrix
     (:func:`assert_strict_conformance`); ``statistical`` backends get
     the coverage/conservation/closeness matrix
-    (:func:`assert_statistical_conformance`).
+    (:func:`assert_statistical_conformance`). ``extra_kwargs`` goes to
+    the candidate's constructor only (the reference always runs
+    stock).
     """
     ref_session, ref = run_backend(REFERENCE_BACKEND, case, dataset)
-    cand_session, cand = run_backend(name, case, dataset)
+    cand_session, cand = run_backend(name, case, dataset, extra_kwargs)
     if backend_tier(name) == "strict":
         assert_strict_conformance(name, case, ref_session, ref,
                                   cand_session, cand)

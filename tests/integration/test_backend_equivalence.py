@@ -89,6 +89,40 @@ class TestBackendConformance:
         finally:
             BACKENDS.pop("mirror", None)
 
+    @pytest.mark.parametrize("depth_source", ["realized", "model"])
+    @pytest.mark.parametrize("backend", ["pipelined",
+                                         "process_pipelined"])
+    def test_overlapped_backends_conform_under_each_depth_source(
+            self, backend, depth_source, tiny_ds):
+        """The resctl knob sweep: both overlapped planes pass their
+        statistical matrix whether the adaptive look-ahead and DRM are
+        steered by calibrated realized times (the default) or by the
+        pure analytic model (the regression-pinned mode)."""
+        assert_backend_conforms(
+            backend, CONFORMANCE_CASES[0], tiny_ds,
+            extra_kwargs={"depth_source": depth_source})
+
+    @pytest.mark.parametrize("backend", ["pipelined",
+                                         "process_pipelined"])
+    def test_overlapped_timing_run_reports_calibration(
+            self, backend, tiny_ds):
+        """A timing-plane run on an overlapped backend exposes the
+        per-stage model-vs-realized calibration report: corrections
+        stay positive and finite, errors non-negative, and at least
+        one stage accumulated observations."""
+        _, rep = run_backend(backend, CONFORMANCE_CASES[0], tiny_ds)
+        assert rep.calibration, \
+            f"{backend}: timing run produced no calibration report"
+        total_obs = 0
+        for stage, entry in rep.calibration.items():
+            assert np.isfinite(entry["correction"])
+            assert entry["correction"] > 0.0
+            assert entry["observations"] >= 0
+            total_obs += entry["observations"]
+            if entry["error"] is not None:
+                assert entry["error"] >= 0.0
+        assert total_obs > 0
+
 
 class TestProcessBackend:
     """Process-pool specifics the generic matrix cannot see."""
@@ -451,14 +485,22 @@ class TestProcessPipelinedBackend:
         iteration's DRM step, so the fused plane must reproduce the
         worker-sampling plane bit for bit — losses, DRM trajectory,
         sampled edges, and every final parameter. This is the DRM-lag
-        regression pin's zero-lag anchor."""
+        regression pin's zero-lag anchor.
+
+        Constructed with ``depth_source="model"`` — the regression pin
+        for the pre-calibration trajectories: the worker-sampling
+        plane never calibrates its timing step against realized wall
+        clocks, so parity demands the fused plane's analytic mode.
+        (``"realized"``, the default, intentionally diverges: it
+        corrects the modelled stage times with monitored ones.)"""
         ss = self._platform_session(tiny_ds, eq_cfg, fpga_platform)
         rs = ProcessSamplingBackend(ss, timeout_s=60).run_epoch()
 
         sf = self._platform_session(tiny_ds, eq_cfg, fpga_platform)
         rf = ProcessPipelinedBackend(sf, timeout_s=60,
                                      initial_depth=1,
-                                     max_depth=1).run_epoch()
+                                     max_depth=1,
+                                     depth_source="model").run_epoch()
 
         assert rf.iterations == rs.iterations
         np.testing.assert_array_equal(rs.losses, rf.losses)

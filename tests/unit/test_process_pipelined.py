@@ -214,6 +214,98 @@ class TestDepthDefaults:
                 cls(session, max_depth=8)
 
 
+class TestDepthSourceTrajectories:
+    """The ``depth_source`` knob's contract on both overlapped planes:
+    ``"model"`` reproduces the analytic depth trajectory bit for bit
+    (recomputable from the report's own stage history), ``"realized"``
+    seeds iteration 0 from the floor instead of the configured depth
+    (no realized signal exists yet — the iteration-0 depth bugfix)."""
+
+    def _session(self, tiny_ds, fpga_platform):
+        from repro.config import SystemConfig, TrainingConfig
+        from repro.runtime import TrainingSession
+        cfg = TrainingConfig(model="sage", minibatch_size=32,
+                             fanouts=(4, 3), hidden_dim=16,
+                             learning_rate=0.05, seed=11)
+        return TrainingSession(
+            tiny_ds, cfg,
+            SystemConfig(hybrid=True, drm=True, prefetch=True),
+            fpga_platform, profile_probes=2)
+
+    @staticmethod
+    def _oracle_trajectory(initial_depth, cap, stage_history):
+        """Replay the adaptive policy over the reported analytic stage
+        times — the exact pre-calibration trajectory semantics."""
+        from repro.runtime import adaptive_depth
+        depth = initial_depth
+        history = [(0, depth)]
+        for it, times in enumerate(stage_history):
+            want = adaptive_depth(times, cap=cap)
+            if want != depth:
+                history.append((it + 1, want))
+                depth = want
+        return history
+
+    @pytest.mark.parametrize("backend_name",
+                             ["pipelined", "process_pipelined"])
+    def test_model_source_trajectory_is_the_analytic_replay(
+            self, backend_name, tiny_ds, fpga_platform):
+        from repro.runtime import get_backend
+        session = self._session(tiny_ds, fpga_platform)
+        backend = get_backend(backend_name)(
+            session, timeout_s=60, initial_depth=2, max_depth=4,
+            depth_source="model")
+        rep = backend.run_epoch()
+        oracle = self._oracle_trajectory(2, 4, rep.stage_history)
+        # The fused plane resizes the dealer one retirement later than
+        # it computes `want`, but records at the same (it + 1) keys —
+        # both planes' histories must equal the analytic replay.
+        assert rep.depth_history == oracle
+
+    @pytest.mark.parametrize("backend_name",
+                             ["pipelined", "process_pipelined"])
+    def test_realized_source_seeds_from_the_floor(
+            self, backend_name, tiny_ds, fpga_platform):
+        from repro.runtime import get_backend
+        session = self._session(tiny_ds, fpga_platform)
+        backend = get_backend(backend_name)(
+            session, timeout_s=60, initial_depth=3, max_depth=4)
+        assert backend.depth_source == "realized"
+        rep = backend.run_epoch()
+        assert rep.depth_history[0] == (0, 1)
+        assert backend.initial_depth == 3   # constructor attr untouched
+
+    def test_warm_estimator_seeds_calibrated_depth(self, tiny_ds,
+                                                   fpga_platform):
+        """A second run on the same backend instance starts from the
+        calibrated steady-state estimate, not the floor — the warm
+        branch of ``seed_depth``."""
+        from repro.runtime import get_backend
+        from repro.runtime.backends.pipelined import (
+            adaptive_depth,
+            seed_depth,
+        )
+        session = self._session(tiny_ds, fpga_platform)
+        backend = get_backend("pipelined")(
+            session, timeout_s=60, initial_depth=3, max_depth=4)
+        backend.run_epoch()
+        assert backend.estimator.is_warm()
+        expected = adaptive_depth(
+            backend.estimator.calibrate(session.stage_times(None, None)),
+            cap=4)
+        assert seed_depth(session, 3, 4, "realized",
+                          backend.estimator) == expected
+
+    @pytest.mark.parametrize("backend_name",
+                             ["pipelined", "process_pipelined"])
+    def test_unknown_depth_source_rejected(self, backend_name,
+                                           tiny_ds, fpga_platform):
+        from repro.runtime import get_backend
+        session = self._session(tiny_ds, fpga_platform)
+        with pytest.raises(ProtocolError):
+            get_backend(backend_name)(session, depth_source="oracle")
+
+
 class TestSharedPrefetchSpec:
     def test_round_trips_through_pickle(self):
         """The spec crosses the process boundary inside the manifest —

@@ -1,0 +1,483 @@
+"""Resource-control units: monitor, estimator, allocator, and the
+timing-plane hooks they plug into.
+
+The resctl package closes the loop between the *modelled* timing plane
+and the *realized* one: :class:`StageMonitor` samples wall times from
+the live backends, :class:`OnlineEstimator` calibrates the analytic
+model against them, :class:`NodeAllocator` arbitrates look-ahead depth
+across concurrent sessions. The estimator sits directly upstream of
+``drm_step``/``adaptive_depth``, so its safety contract — corrections
+always positive and finite, calibrated times never non-finite or
+negative, exact no-op until warm — is pinned here as hypothesis
+properties, alongside the empty-fold and duplex-derate regression
+fixes this PR ships.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig, TrainingConfig
+from repro.errors import ProtocolError
+from repro.perfmodel.model import StageTimes
+from repro.runtime import TrainingSession
+from repro.runtime.backends.pipelined import fold_stage_stats
+from repro.runtime.resctl import (
+    DEFAULT_DEPTH_BUDGET,
+    NodeAllocator,
+    OnlineEstimator,
+    REALIZED_STAGES,
+    StageMonitor,
+    fold_worker_realized,
+    map_worker_totals,
+    summarize_calibration,
+)
+
+common_settings = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+#: Non-negative finite stage seconds, the shape a well-behaved plane
+#: observes.
+finite_seconds = st.floats(min_value=0.0, max_value=1e6,
+                           allow_nan=False, allow_infinity=False)
+
+#: Arbitrary floats, the shape a misbehaving plane might observe.
+hostile_seconds = st.floats(allow_nan=True, allow_infinity=True)
+
+
+def _times(value: float = 0.01) -> StageTimes:
+    return StageTimes(t_sample_cpu=value, t_sample_accel=value,
+                      t_load=value, t_transfer=value,
+                      t_train_cpu=value, t_train_accel=value,
+                      t_sync=value)
+
+
+class TestStageMonitor:
+    def test_ewma_and_counts(self):
+        mon = StageMonitor(window=8, alpha=0.5)
+        for v in (1.0, 3.0):
+            mon.observe("load", v)
+        assert mon.count("load") == 2
+        assert mon.ewma("load") == pytest.approx(2.0)   # 0.5*3 + 0.5*1
+        assert mon.stages() == ("load",)
+
+    def test_ring_is_bounded_but_totals_are_not(self):
+        mon = StageMonitor(window=4)
+        for v in range(100):
+            mon.observe("sync", float(v))
+        assert mon.count("sync") == 100
+        assert mon.percentile("sync", 0) == 96.0   # ring kept last 4
+        assert mon.summary()["sync"].total_s == sum(range(100))
+
+    def test_percentiles_over_window(self):
+        mon = StageMonitor(window=100)
+        for v in range(1, 101):
+            mon.observe("train_cpu", float(v))
+        assert mon.percentile("train_cpu", 50) == pytest.approx(50.5)
+        assert mon.percentile("train_cpu", 95) > 90
+        with pytest.raises(ProtocolError):
+            mon.percentile("train_cpu", 101)
+
+    def test_invalid_samples_rejected(self):
+        mon = StageMonitor()
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(ProtocolError):
+                mon.observe("load", bad)
+
+    def test_merge_totals_feeds_summary_without_ring(self):
+        mon = StageMonitor()
+        mon.merge_totals({"train_accel": (10, 5.0)})
+        mon.merge_totals({"train_accel": (10, 3.0)})
+        digest = mon.summary()["train_accel"]
+        assert digest.count == 20
+        assert digest.total_s == pytest.approx(8.0)
+        assert digest.ewma_s == pytest.approx(0.4)   # totals-only mean
+        with pytest.raises(ProtocolError):
+            mon.merge_totals({"train_accel": (-1, 1.0)})
+
+    def test_summary_orders_canonical_stages_first(self):
+        mon = StageMonitor()
+        mon.observe("zz_custom", 1.0)
+        mon.observe("sync", 1.0)
+        mon.observe("sample_cpu", 1.0)
+        assert list(mon.summary()) == ["sample_cpu", "sync",
+                                       "zz_custom"]
+        assert "sync" in mon.describe()
+
+    def test_thread_safety_under_concurrent_observers(self):
+        mon = StageMonitor(window=16)
+
+        def hammer(stage):
+            for _ in range(500):
+                mon.observe(stage, 0.001)
+
+        threads = [threading.Thread(target=hammer, args=(s,))
+                   for s in REALIZED_STAGES]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for s in REALIZED_STAGES:
+            assert mon.count(s) == 500
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ProtocolError):
+            StageMonitor(window=0)
+        with pytest.raises(ProtocolError):
+            StageMonitor(alpha=0.0)
+
+
+class TestFoldWorkerRealized:
+    def test_kind_aware_reductions(self):
+        realized = fold_worker_realized(
+            [("cpu", {"sample": 1.0, "load": 2.0, "train": 3.0}),
+             ("accel", {"sample": 0.5, "load": 1.0, "transfer": 0.2,
+                        "train": 4.0}),
+             ("accel", {"sample": 0.7, "load": 0.5, "transfer": 0.6,
+                        "train": 2.0})],
+            sync_s=0.1)
+        assert realized["sample_cpu"] == pytest.approx(1.0)
+        assert realized["sample_accel"] == pytest.approx(0.7)  # max
+        assert realized["load"] == pytest.approx(3.5)          # sum
+        assert realized["transfer"] == pytest.approx(0.6)      # max
+        assert realized["train_cpu"] == pytest.approx(3.0)
+        assert realized["train_accel"] == pytest.approx(4.0)   # max
+        assert realized["sync"] == pytest.approx(0.1)
+
+    def test_idle_and_invalid_entries_skipped(self):
+        realized = fold_worker_realized(
+            [("cpu", {}),
+             ("accel", {"train": float("nan"), "load": -1.0}),
+             ("cpu", {"train": 2.0})])
+        assert realized == {"train_cpu": 2.0}
+
+    def test_cpu_transfer_contributions_dropped(self):
+        # CPU trainers never cross PCIe; a stray measurement must not
+        # surface as transfer time.
+        assert fold_worker_realized([("cpu", {"transfer": 5.0})]) == {}
+
+    def test_map_worker_totals_by_kind(self):
+        totals = {"sample": (3, 1.5), "load": (3, 0.9),
+                  "transfer": (3, 0.3), "train": (3, 2.1),
+                  "mystery": (1, 1.0)}
+        cpu = map_worker_totals("cpu", totals)
+        accel = map_worker_totals("accel", totals)
+        assert cpu == {"sample_cpu": (3, 1.5), "load": (3, 0.9),
+                       "train_cpu": (3, 2.1)}
+        assert accel == {"sample_accel": (3, 1.5), "load": (3, 0.9),
+                         "transfer": (3, 0.3), "train_accel": (3, 2.1)}
+
+
+class TestOnlineEstimator:
+    def test_cold_estimator_is_exact_noop(self):
+        est = OnlineEstimator(warmup=3)
+        times = _times(0.02)
+        est.observe({"load": 0.5}, times)   # 1 observation < warmup
+        assert not est.is_warm()
+        assert est.correction("load") == 1.0
+        assert est.calibrate(times) is times
+
+    @common_settings
+    @given(scale=st.floats(min_value=0.5, max_value=3.0),
+           noise=st.lists(st.floats(min_value=-0.05, max_value=0.05),
+                          min_size=20, max_size=60),
+           alpha=st.floats(min_value=0.1, max_value=0.9))
+    def test_corrections_converge_under_stationary_noise(
+            self, scale, noise, alpha):
+        """Realized = scale x model x (1 + eps), |eps| <= 5%: the
+        correction must land inside the confidence-weighted envelope
+        of the true scale."""
+        est = OnlineEstimator(alpha=alpha, warmup=3)
+        model = _times(0.01)
+        for eps in noise:
+            est.observe({"load": 0.01 * scale * (1.0 + eps)}, model)
+        n = len(noise)
+        w = n / (n + est.warmup)
+        lo = 1.0 + w * (0.95 * scale - 1.0)
+        hi = 1.0 + w * (1.05 * scale - 1.0)
+        c = est.correction("load")
+        assert lo - 1e-9 <= c <= hi + 1e-9
+        # And the calibrated field is the analytic one scaled by it.
+        assert est.calibrate(model).t_load == \
+            pytest.approx(0.01 * c)
+
+    @common_settings
+    @given(observations=st.lists(
+        st.dictionaries(st.sampled_from(REALIZED_STAGES),
+                        hostile_seconds, max_size=7),
+        max_size=25),
+        model_value=st.floats(min_value=0.0, max_value=1e12,
+                              allow_nan=False, allow_infinity=False))
+    def test_calibrated_times_always_finite_and_nonnegative(
+            self, observations, model_value):
+        """Whatever a plane observes — nan, inf, negatives, absurd
+        magnitudes — calibration must never emit a non-finite or
+        negative stage time into drm_step/adaptive_depth."""
+        est = OnlineEstimator(warmup=1)
+        model = _times(model_value)
+        for realized in observations:
+            est.observe(realized, model)
+        calibrated = est.calibrate(model)
+        for stage_field in ("t_sample_cpu", "t_sample_accel", "t_load",
+                            "t_transfer", "t_train_cpu",
+                            "t_train_accel", "t_sync"):
+            v = getattr(calibrated, stage_field)
+            assert math.isfinite(v) and v >= 0.0
+
+    def test_observation_forwarding_to_monitor(self):
+        mon = StageMonitor()
+        est = OnlineEstimator(monitor=mon)
+        est.observe({"load": 0.5, "sync": float("nan")}, _times())
+        assert mon.count("load") == 1
+        assert mon.count("sync") == 0   # invalid sample filtered
+
+    def test_summary_and_error_report(self):
+        est = OnlineEstimator(warmup=2)
+        model = _times(0.01)
+        for _ in range(5):
+            est.observe({"load": 0.02}, model)
+        digest = est.summary()["load"]
+        assert digest["warm"]
+        assert digest["observations"] == 5
+        assert digest["error"] == pytest.approx(0.5)   # |m - r| / r
+        assert digest["correction"] > 1.0
+        assert "load:50%" in summarize_calibration(est.summary())
+
+    def test_summarize_calibration_cold_is_dash(self):
+        assert summarize_calibration({}) == "-"
+        assert summarize_calibration(
+            {"load": {"warm": False, "error": 0.4}}) == "-"
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ProtocolError):
+            OnlineEstimator(alpha=0.0)
+        with pytest.raises(ProtocolError):
+            OnlineEstimator(warmup=0)
+        with pytest.raises(ProtocolError):
+            OnlineEstimator(ratio_bounds=(0.0, 1.0))
+
+
+class TestNodeAllocator:
+    def test_single_session_gets_its_cap(self):
+        alloc = NodeAllocator(depth_budget=16)
+        grant = alloc.register("a", max_depth=6)
+        assert grant.depth_cap == 6      # own cap below fair share
+        assert alloc.active_count == 1
+        grant.release()
+        assert alloc.active_count == 0
+
+    def test_fair_share_across_concurrent_sessions(self):
+        alloc = NodeAllocator(depth_budget=8)
+        a = alloc.register("a", max_depth=8)
+        b = alloc.register("b", max_depth=8)
+        assert a.depth_cap == 4 and b.depth_cap == 4
+        c = alloc.register("c", max_depth=8)
+        assert {a.depth_cap, b.depth_cap, c.depth_cap} == {2}
+        # Releasing one raises the survivors' caps immediately — the
+        # live re-read is the whole point of DepthGrant.depth_cap.
+        c.release()
+        assert a.depth_cap == 4 and b.depth_cap == 4
+        b.release()
+        assert a.depth_cap == 8
+
+    def test_share_never_below_one(self):
+        alloc = NodeAllocator(depth_budget=2)
+        grants = [alloc.register(f"s{i}", max_depth=4)
+                  for i in range(5)]
+        assert all(g.depth_cap == 1 for g in grants)
+        for g in grants:
+            g.release()
+
+    def test_release_is_idempotent_and_cap_read_after_release_raises(
+            self):
+        alloc = NodeAllocator(depth_budget=8)
+        grant = alloc.register("a", max_depth=4)
+        grant.release()
+        grant.release()                      # no-op, never raises
+        assert grant.released
+        with pytest.raises(ProtocolError):
+            grant.depth_cap
+
+    def test_context_manager_releases(self):
+        alloc = NodeAllocator(depth_budget=8)
+        with alloc.register("a", max_depth=4) as grant:
+            assert grant.depth_cap == 4
+        assert alloc.active_count == 0
+
+    def test_events_audit_and_snapshot(self):
+        alloc = NodeAllocator(depth_budget=8)
+        a = alloc.register("first", max_depth=4)
+        b = alloc.register("second", max_depth=4)
+        a.release()
+        snap = alloc.snapshot()
+        assert snap["depth_budget"] == 8
+        assert snap["active_sessions"] == 1
+        assert snap["sessions"] == {"second": 4}
+        assert ("register", "first") in alloc.events
+        assert ("release", "first") in alloc.events
+        b.release()
+        assert alloc.available_depth == 8
+
+    def test_default_budget_and_validation(self):
+        assert NodeAllocator().snapshot()["depth_budget"] == \
+            DEFAULT_DEPTH_BUDGET
+        with pytest.raises(ProtocolError):
+            NodeAllocator(depth_budget=0)
+        with pytest.raises(ProtocolError):
+            NodeAllocator(depth_budget=4).register("a", max_depth=0)
+
+
+class TestFoldStageStatsEmpty:
+    """Regression: ``fold_stage_stats`` on an empty entry list used to
+    trip ``max()``/``np.mean`` — both call sites (the pipelined plane's
+    in-process fold, the fused plane's per-worker pipe fold) can reach
+    it with a stage no buffer ever carried."""
+
+    def test_empty_entries_fold_to_zeroed_stats(self):
+        stats = fold_stage_stats("sample", [])
+        assert (stats.stage, stats.items, stats.high_water,
+                stats.mean_occupancy) == ("sample", 0, 0, 0.0)
+        assert "items=0" in stats.describe()
+
+    def test_zeroed_fold_survives_the_overlap_summary(self):
+        # The fused plane's report path renders the folded record.
+        from repro.runtime.backends.pipelined import summarize_overlap
+        summary = summarize_overlap(
+            {"sample": fold_stage_stats("sample", [])}, [(0, 1)])
+        assert "depth=1-1" in summary
+
+    def test_nonempty_fold_unchanged(self):
+        stats = fold_stage_stats("train",
+                                 [(3, 2, 0.5), (5, 1, 1.5)])
+        assert stats.items == 8
+        assert stats.high_water == 2
+        assert stats.mean_occupancy == pytest.approx(1.0)
+
+
+class TestDurationRowGating:
+    """Regression for the duplex-derate bug: the PCIe contention derate
+    must be priced only when the executing backend genuinely overlaps
+    the next transfer with the gradient pull — not whenever
+    ``sys_cfg.prefetch`` happens to be set."""
+
+    @pytest.fixture()
+    def timing_session(self, tiny_ds, fpga_platform):
+        cfg = TrainingConfig(model="sage", minibatch_size=32,
+                             fanouts=(4, 3), hidden_dim=16,
+                             learning_rate=0.05, seed=11)
+        return TrainingSession(
+            tiny_ds, cfg,
+            SystemConfig(hybrid=True, drm=False, prefetch=True),
+            fpga_platform, profile_probes=2)
+
+    def test_virtual_plane_row_unchanged(self, timing_session):
+        """Legacy callers (no ``overlapped``) keep the prefetch-gated
+        derate — the virtual reference's rows must not move."""
+        times = _times(0.01)
+        legacy = timing_session.duration_row(times)
+        explicit = timing_session.duration_row(times, overlapped=True)
+        assert legacy == explicit
+        derate = timing_session.platform.pcie.duplex_derate
+        assert derate > 0.0
+        assert legacy[2] == pytest.approx(0.01 * (1.0 + derate))
+
+    def test_non_overlapping_backend_skips_derate(self, timing_session):
+        times = _times(0.01)
+        row = timing_session.duration_row(times, overlapped=False)
+        assert row[2] == pytest.approx(0.01)
+        # Only the transfer entry moves.
+        legacy = timing_session.duration_row(times)
+        assert row[0] == legacy[0]
+        assert row[1] == legacy[1]
+        assert row[3] == legacy[3]
+
+    def test_zero_transfer_immune(self, timing_session):
+        times = _times(0.0)
+        assert timing_session.duration_row(times)[2] == 0.0
+
+    def test_backend_capability_flags(self):
+        from repro.runtime import (
+            PipelinedBackend,
+            ProcessPipelinedBackend,
+            ProcessPoolBackend,
+            ProcessSamplingBackend,
+            ThreadedBackend,
+        )
+        from repro.runtime.backends.virtual import VirtualTimeBackend
+        # Strict planes must price rows exactly like the reference.
+        assert VirtualTimeBackend.overlaps_transfer
+        assert ThreadedBackend.overlaps_transfer
+        assert ProcessPoolBackend.overlaps_transfer
+        # The lock-step statistical plane is the one exception...
+        assert not ProcessSamplingBackend.overlaps_transfer
+        # ...and its fused subclass overlaps again.
+        assert ProcessPipelinedBackend.overlaps_transfer
+        assert PipelinedBackend.overlaps_transfer
+
+
+class TestTimingStepHooks:
+    """``timing_step``'s resctl kwargs are strictly opt-in: passing an
+    estimator without ``calibrate`` observes but returns bit-identical
+    results; calibrating feeds corrected times to row/DRM."""
+
+    @pytest.fixture()
+    def session_pair(self, tiny_ds, fpga_platform):
+        def build():
+            cfg = TrainingConfig(model="sage", minibatch_size=32,
+                                 fanouts=(4, 3), hidden_dim=16,
+                                 learning_rate=0.05, seed=11)
+            return TrainingSession(
+                tiny_ds, cfg,
+                SystemConfig(hybrid=True, drm=True, prefetch=True),
+                fpga_platform, profile_probes=2)
+        return build(), build()
+
+    def _stats(self, session):
+        planned = next(iter(session.plan.iterate(1)))[1]
+        stats_cpu = None
+        stats_accel = []
+        for idx, trainer in enumerate(session.trainers):
+            targets = planned.assignments[idx]
+            st_ = None if targets is None else \
+                session.sampler.sample(targets).stats()
+            if trainer.kind == "cpu":
+                stats_cpu = st_
+            else:
+                stats_accel.append(st_)
+        return stats_cpu, stats_accel
+
+    def test_observe_only_is_bit_identical(self, session_pair):
+        plain, hooked = session_pair
+        stats_cpu, stats_accel = self._stats(plain)
+        h_cpu, h_accel = self._stats(hooked)
+        est = OnlineEstimator(warmup=1)
+        for _ in range(4):   # warm it: corrections would bite if used
+            est.observe({"load": 123.0}, _times(0.01))
+        t0, r0, s0 = plain.timing_step(stats_cpu, stats_accel, 0)
+        t1, r1, s1 = hooked.timing_step(
+            h_cpu, h_accel, 0, estimator=est,
+            realized={"load": 123.0}, calibrate=False)
+        assert t0 == t1
+        assert r0 == r1
+        assert s0 == s1
+
+    def test_calibrate_feeds_corrected_times(self, session_pair):
+        plain, hooked = session_pair
+        stats_cpu, stats_accel = self._stats(plain)
+        h_cpu, h_accel = self._stats(hooked)
+        t0, _, _ = plain.timing_step(stats_cpu, stats_accel, 0)
+        est = OnlineEstimator(warmup=1)
+        scale = 3.0
+        for _ in range(50):
+            est.observe({"load": t0.t_load * scale}, t0)
+        t1, _, _ = hooked.timing_step(
+            h_cpu, h_accel, 0, estimator=est,
+            realized={"load": t0.t_load * scale}, calibrate=True)
+        assert t1.t_load > t0.t_load
+        assert t1.t_load == pytest.approx(
+            t0.t_load * est.correction("load"))
