@@ -45,10 +45,18 @@ from typing import Callable
 import numpy as np
 
 from ..errors import ConfigError
+from ..registry import Registry
 from . import fast as _fast
 from . import reference as _reference
 from .pool import BufferPool
-from .stats import COUNTERS, KernelCounters, format_traffic, merge_counts
+from .stats import (
+    COUNTERS,
+    KernelCounters,
+    format_traffic,
+    merge_counts,
+    record,
+    scoped_counters,
+)
 
 #: The registered ops (fixed: callers dispatch through the functions
 #: below; tiers provide implementations per op).
@@ -66,9 +74,14 @@ TIER_LADDER = ("numba", "fast", "reference")
 #: override is active.
 DEFAULT_TIER = "fast"
 
-#: op -> tier -> implementation. Mutated only via
-#: :func:`register_kernel`.
-KERNELS: dict[str, dict[str, Callable]] = {op: {} for op in OPS}
+#: op -> tier -> implementation: a :class:`~repro.registry.Registry`
+#: of per-op tier registries (the unified registry discipline shared
+#: with backends and samplers), dict-compatible for legacy call sites.
+#: Mutated only via :func:`register_kernel`.
+KERNELS: Registry = Registry("kernel op")
+for _op in OPS:
+    KERNELS.register(_op, Registry("kernel tier"))
+del _op
 
 _requested: str | None = None          # programmatic override
 _warned_fallbacks: set[tuple[str, str]] = set()
@@ -83,24 +96,21 @@ def register_kernel(op: str, tier: str, fn: Callable | None = None):
     override a shipped one).
     """
     if op not in KERNELS:
-        raise ConfigError(
-            f"unknown kernel op {op!r}; ops: {sorted(KERNELS)}")
+        raise KERNELS.unknown_error(op)
     if not tier:
         raise ConfigError("kernel tier needs a non-empty name")
 
     def _do(f: Callable) -> Callable:
-        KERNELS[op][tier] = f
+        KERNELS[op].register(tier, f)
         return f
 
     return _do if fn is None else _do(fn)
 
 
 def available_tiers(op: str = "gather") -> tuple[str, ...]:
-    """Registered tier names for ``op``, sorted."""
-    if op not in KERNELS:
-        raise ConfigError(
-            f"unknown kernel op {op!r}; ops: {sorted(KERNELS)}")
-    return tuple(sorted(KERNELS[op]))
+    """Registered tier names for ``op``, sorted (the unified
+    ``available_*`` surface shared with backends and samplers)."""
+    return KERNELS.get(op).available()
 
 
 def requested_tier() -> str:
@@ -156,14 +166,14 @@ def _resolve(op: str) -> tuple[str, Callable]:
     impls = KERNELS[op]
     if tier not in TIER_LADDER:
         _check_requestable(tier)
-        impl = impls.get(tier)
+        impl = impls.get(tier, None)
         if impl is None:
             raise ConfigError(
                 f"kernel tier {tier!r} provides no {op!r}; registered "
                 f"for {op!r}: {sorted(impls)}")
         return tier, impl
     for t in TIER_LADDER[TIER_LADDER.index(tier):]:
-        impl = impls.get(t)
+        impl = impls.get(t, None)
         if impl is not None:
             if t != tier and (tier, t) not in _warned_fallbacks:
                 _warned_fallbacks.add((tier, t))
@@ -222,7 +232,7 @@ def gather_rows(features: np.ndarray, index: np.ndarray, *,
     index = np.asarray(index)
     _, impl = _resolve("gather")
     result = impl(features, index, out=out, pool=pool)
-    COUNTERS.add(
+    record(
         gather_calls=1, gather_rows=index.size,
         gather_src_bytes=index.size * features.shape[1]
         * features.itemsize,
@@ -239,7 +249,7 @@ def quantize(x: np.ndarray, mode: str, *,
     x = _check_matrix(x, "feature")
     _, impl = _resolve("quantize")
     result = impl(x, mode, out=out, pool=pool)
-    COUNTERS.add(
+    record(
         quantize_calls=1, quantize_in_bytes=x.nbytes,
         payload_bytes=payload_bytes(mode, x.shape[0], x.shape[1]))
     return result
@@ -256,7 +266,7 @@ def gather_quantize(features: np.ndarray, index: np.ndarray,
     index = np.asarray(index)
     _, impl = _resolve("gather_quantize")
     result = impl(features, index, mode, out=out, pool=pool)
-    COUNTERS.add(
+    record(
         fused_calls=1, gather_rows=index.size,
         gather_src_bytes=index.size * features.shape[1]
         * features.itemsize,
@@ -283,7 +293,7 @@ def segment_sum(src: np.ndarray, dst: np.ndarray, h_src: np.ndarray,
     _, impl = _resolve("segment_sum")
     result = impl(src, dst, h_src, int(num_dst),
                   edge_weights=edge_weights)
-    COUNTERS.add(segment_sum_calls=1,
+    record(segment_sum_calls=1,
                  segment_sum_edges=src.size)
     return result
 
@@ -332,6 +342,8 @@ __all__ = [
     "BufferPool",
     "COUNTERS",
     "KernelCounters",
+    "record",
+    "scoped_counters",
     "format_traffic",
     "merge_counts",
 ]

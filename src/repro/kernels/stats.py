@@ -8,21 +8,31 @@ the question the micro-bench cannot: *per training iteration*, how many
 bytes did the gather/transfer hot path actually move, and did the
 steady state allocate?
 
-One :data:`COUNTERS` accumulator per process. Backends snapshot it
-around a run (in-process planes) or ship it back over the worker pipe
-(process planes' ``kstats`` message) and attach the delta to their
-report as ``kernel_stats`` — ``run_wallclock_scalability`` renders it
-next to the overlap column.
+One :data:`COUNTERS` accumulator per process stays the process-wide
+total, but it is no longer the only sink: every dispatch goes through
+:func:`record`, which also feeds any **session-scoped**
+:class:`KernelCounters` the current thread has been enlisted into via
+:func:`scoped_counters`. That is how two concurrent sessions in one
+process (a training backend and a serving session, or two trainings
+under one :class:`~repro.runtime.resctl.NodeAllocator`) each get a
+``kernel_stats`` that counts only *their own* dispatches instead of
+interleaving into one global bag. In-process backends wrap their run
+and stage threads in ``scoped_counters(self.counters)``; the process
+planes are already scoped by construction (each worker computes a
+local delta and ships it back over the ``kstats`` pipe message).
 
 Thread safety: stage threads of the overlapped backends dispatch
 kernels concurrently, so :meth:`KernelCounters.add` takes a lock. The
 costs are a few dict updates per *batch* (not per element); the lock is
-invisible next to the gather itself.
+invisible next to the gather itself. Enlistment is keyed by thread id
+and stores immutable tuples, so :func:`record`'s read path is a single
+dict lookup with no lock.
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 
 
 class KernelCounters:
@@ -104,3 +114,58 @@ def format_traffic(counts: dict[str, int], iterations: int = 1) -> str:
 
 #: The process-wide accumulator every kernel dispatch reports into.
 COUNTERS = KernelCounters()
+
+# Session-scoped sinks: thread id -> tuple of enlisted counter bags.
+# Values are immutable tuples replaced wholesale under the lock, so the
+# hot-path read in :func:`record` needs no synchronization.
+_sinks_lock = threading.Lock()
+_sinks: dict[int, tuple[KernelCounters, ...]] = {}
+
+
+def enlist_thread(counters: KernelCounters) -> None:
+    """Enlist ``counters`` as a sink for every :func:`record` call made
+    from the *current* thread (stackable; prefer
+    :func:`scoped_counters`)."""
+    tid = threading.get_ident()
+    with _sinks_lock:
+        _sinks[tid] = _sinks.get(tid, ()) + (counters,)
+
+
+def delist_thread(counters: KernelCounters) -> None:
+    """Remove one enlistment of ``counters`` for the current thread."""
+    tid = threading.get_ident()
+    with _sinks_lock:
+        have = list(_sinks.get(tid, ()))
+        if counters in have:
+            have.reverse()
+            have.remove(counters)
+            have.reverse()
+        if have:
+            _sinks[tid] = tuple(have)
+        else:
+            _sinks.pop(tid, None)
+
+
+@contextmanager
+def scoped_counters(counters: KernelCounters):
+    """Route this thread's kernel traffic into ``counters`` (on top of
+    the process-wide :data:`COUNTERS`) for the duration of the block.
+
+    Each run/stage thread of a session enters this around its work
+    loop, giving the session an isolated ``kernel_stats`` view even
+    when other sessions dispatch concurrently in the same process.
+    """
+    enlist_thread(counters)
+    try:
+        yield counters
+    finally:
+        delist_thread(counters)
+
+
+def record(**deltas: int) -> None:
+    """Accumulate kernel-dispatch deltas into the process-wide
+    :data:`COUNTERS` *and* every counter bag the calling thread is
+    enlisted into — the single chokepoint the dispatchers call."""
+    COUNTERS.add(**deltas)
+    for sink in _sinks.get(threading.get_ident(), ()):
+        sink.add(**deltas)

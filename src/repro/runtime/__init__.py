@@ -69,6 +69,12 @@ from .trainer import TrainerNode, TrainerReport
 from .prefetch import PrefetchBuffer
 from .drm import DRMDecision, DRMEngine
 from .core import BatchPlan, PlannedIteration, TrainingSession
+from .stage_pipeline import (
+    PreparedBatch,
+    StagePipeline,
+    StageTimings,
+    WorkSource,
+)
 from .shm import (
     SharedFeatureStore,
     SharedPrefetchSpec,
@@ -77,6 +83,7 @@ from .shm import (
 )
 from .backends import (
     BACKENDS,
+    BackendOptions,
     ExecutionBackend,
     PipelinedBackend,
     ProcessPipelinedBackend,
@@ -85,8 +92,10 @@ from .backends import (
     ThreadedBackend,
     VirtualTimeBackend,
     available_backends,
+    build_backend,
     get_backend,
     register_backend,
+    resolve_options,
 )
 from .backends.threaded import ExecutorReport
 from .backends.virtual import EpochReport
@@ -130,6 +139,10 @@ __all__ = [
     "TrainingSession",
     "BatchPlan",
     "PlannedIteration",
+    "StagePipeline",
+    "StageTimings",
+    "PreparedBatch",
+    "WorkSource",
     "ExecutionBackend",
     "VirtualTimeBackend",
     "ThreadedBackend",
@@ -162,6 +175,9 @@ __all__ = [
     "register_backend",
     "get_backend",
     "available_backends",
+    "BackendOptions",
+    "build_backend",
+    "resolve_options",
     "HyScaleGNN",
     "EpochReport",
     "ThreadedExecutor",

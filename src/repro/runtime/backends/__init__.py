@@ -50,7 +50,19 @@ tiers, shm manifest, worker RNG streams, registration — lives in
 from __future__ import annotations
 
 from ...errors import ConfigError
+from ...registry import Registry
 from .base import ExecutionBackend
+from .options import (
+    BackendOptions,
+    LiveOptions,
+    OverlapOptions,
+    ProcessOptions,
+    ProcessOverlapOptions,
+    ThreadedOptions,
+    build_backend,
+    resolve_options,
+    validate_options_cls,
+)
 from .virtual import EpochReport, VirtualTimeBackend
 from .threaded import ExecutorReport, ThreadedBackend
 from .process_pool import ProcessPoolBackend, ProcessReport
@@ -70,37 +82,40 @@ from .process_pipelined import (
     ProcessPipelinedReport,
 )
 
-#: name -> backend class. Mutated only through :func:`register_backend`.
-BACKENDS: dict[str, type[ExecutionBackend]] = {}
+#: name -> backend class. A :class:`~repro.registry.Registry` (the
+#: unified registry discipline), dict-compatible for legacy call sites;
+#: mutated only through :func:`register_backend`.
+BACKENDS: Registry = Registry("execution backend")
 
 
 def register_backend(cls: type[ExecutionBackend]
                      ) -> type[ExecutionBackend]:
     """Register an execution backend under ``cls.name``.
 
-    Usable as a class decorator; returns ``cls`` unchanged.
+    Usable as a class decorator; returns ``cls`` unchanged. Validates
+    the class contract eagerly: a non-empty ``name`` and an
+    ``options_cls`` declaration whose every field the constructor
+    accepts (see :mod:`~repro.runtime.backends.options`), so knob
+    drift fails at registration rather than first use.
     """
     if not getattr(cls, "name", ""):
         raise ConfigError(
             f"backend class needs a non-empty `name`; registered: "
             f"{sorted(BACKENDS)}")
-    BACKENDS[cls.name] = cls
+    validate_options_cls(cls)
+    BACKENDS.register(cls.name, cls)
     return cls
 
 
 def get_backend(name: str) -> type[ExecutionBackend]:
-    """Look up a backend class by registry key."""
-    try:
-        return BACKENDS[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown execution backend {name!r}; registered: "
-            f"{sorted(BACKENDS)}") from None
+    """Look up a backend class by registry key (unknown names raise
+    :class:`~repro.errors.ConfigError` listing the registry)."""
+    return BACKENDS.get(name)
 
 
 def available_backends() -> tuple[str, ...]:
     """Registered backend names, sorted."""
-    return tuple(sorted(BACKENDS))
+    return BACKENDS.available()
 
 
 register_backend(VirtualTimeBackend)
@@ -112,6 +127,14 @@ register_backend(ProcessPipelinedBackend)
 
 __all__ = [
     "ExecutionBackend",
+    "BackendOptions",
+    "LiveOptions",
+    "ThreadedOptions",
+    "ProcessOptions",
+    "OverlapOptions",
+    "ProcessOverlapOptions",
+    "build_backend",
+    "resolve_options",
     "VirtualTimeBackend",
     "ThreadedBackend",
     "ProcessPoolBackend",

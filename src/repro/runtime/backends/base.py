@@ -44,8 +44,10 @@ from __future__ import annotations
 import abc
 from typing import Any, ClassVar
 
+from ...kernels import KernelCounters
 from ..core import TrainingSession
 from ..resctl import StageMonitor
+from .options import BackendOptions
 
 
 class ExecutionBackend(abc.ABC):
@@ -59,6 +61,13 @@ class ExecutionBackend(abc.ABC):
 
     #: Registry key; subclasses override.
     name: ClassVar[str] = ""
+
+    #: The typed construction-knob declaration
+    #: (:mod:`~repro.runtime.backends.options`). ``register_backend``
+    #: validates every field against the constructor signature;
+    #: ``build_backend(name, session, **knobs)`` resolves user kwargs
+    #: through it with unknown-option errors naming the backend.
+    options_cls: ClassVar[type[BackendOptions]] = BackendOptions
 
     #: Which conformance tier this backend targets: ``"strict"``
     #: (bit-identical to the virtual reference — the default) or
@@ -80,9 +89,17 @@ class ExecutionBackend(abc.ABC):
     def __init__(self, session: TrainingSession) -> None:
         self.session = session
         #: Realized per-stage wall-time monitor (resctl stage 1) —
-        #: every live plane feeds it; overlapped planes additionally
-        #: calibrate from it through their estimator.
+        #: an explicit **session-scoped handle**: every live plane
+        #: feeds its own; overlapped planes additionally calibrate
+        #: from it through their estimator. Two concurrent sessions
+        #: (train + serve, or two trainings) never share one.
         self.monitor = StageMonitor()
+        #: Session-scoped kernel-traffic handle: the in-process planes
+        #: enlist their run/stage threads into it
+        #: (:func:`repro.kernels.scoped_counters`), so a report's
+        #: ``kernel_stats`` counts only this backend's dispatches even
+        #: when other sessions run concurrently in the same process.
+        self.counters = KernelCounters()
 
     @abc.abstractmethod
     def run_epoch(self, max_iterations: int | None = None) -> Any:

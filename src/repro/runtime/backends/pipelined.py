@@ -66,7 +66,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...errors import ProtocolError
-from ...kernels import COUNTERS
+from ...kernels import scoped_counters
 from ...perfmodel.model import StageTimes, WorkloadSplit
 from ...sim.trace import Timeline
 from ..prefetch import PrefetchBuffer
@@ -78,6 +78,7 @@ from ..resctl import (
     fold_worker_realized,
 )
 from .base import ExecutionBackend
+from .options import OverlapOptions
 
 #: Producer stages in pipeline order (the train stage consumes).
 PRODUCER_STAGES = ("sample", "gather", "transfer")
@@ -312,6 +313,7 @@ class PipelinedBackend(ExecutionBackend):
     """
 
     name = "pipelined"
+    options_cls = OverlapOptions
     conformance_tier = "statistical"
 
     def __init__(self, session, initial_depth: int | None = None,
@@ -396,7 +398,7 @@ class PipelinedBackend(ExecutionBackend):
 
         def dispatcher() -> None:
             try:
-                for it, planned in s.plan.iterate(iterations):
+                for it, planned in s.work_source.iterate(iterations):
                     for idx in range(n):
                         targets = planned.assignments[idx]
                         if targets is not None:
@@ -472,24 +474,35 @@ class PipelinedBackend(ExecutionBackend):
             except BaseException as exc:
                 fail(exc)
 
-        threads = [threading.Thread(target=dispatcher, daemon=True,
+        def scoped(fn):
+            # Enlist each stage thread into the session-scoped counter
+            # handle so kernel_stats counts only this run's dispatches
+            # even when co-tenant sessions overlap in this process.
+            def run(*args):
+                with scoped_counters(self.counters):
+                    fn(*args)
+            return run
+
+        threads = [threading.Thread(target=scoped(dispatcher),
+                                    daemon=True,
                                     name="pipeline-dispatcher")]
         for idx in range(n):
             for stage, worker in (("sample", sample_worker),
                                   ("gather", gather_worker),
                                   ("transfer", transfer_worker)):
                 threads.append(threading.Thread(
-                    target=worker, args=(idx,), daemon=True,
+                    target=scoped(worker), args=(idx,), daemon=True,
                     name=f"pipeline-{stage}{idx}"))
-        counters_before = COUNTERS.snapshot()
+        counters_before = self.counters.snapshot()
         start = time.perf_counter()
         for t in threads:
             t.start()
 
         try:
-            for it in range(iterations):
-                depth = self._train_iteration(it, bufs, error, report,
-                                              rows, depth)
+            with scoped_counters(self.counters):
+                for it in range(iterations):
+                    depth = self._train_iteration(it, bufs, error,
+                                                  report, rows, depth)
         finally:
             # Close every buffer first (unblocks any stage thread stuck
             # in put/get — they observe the close and drain out), then
@@ -512,7 +525,7 @@ class PipelinedBackend(ExecutionBackend):
                 f"{self.timeout_s}s: {lingering}")
 
         report.wall_time_s = time.perf_counter() - start
-        report.kernel_stats = COUNTERS.delta(counters_before)
+        report.kernel_stats = self.counters.delta(counters_before)
         report.replicas_consistent = \
             s.synchronizer.replicas_consistent()
         self._aggregate_stage_stats(bufs, report)

@@ -77,6 +77,7 @@ from .pipelined import (
     summarize_overlap,
 )
 from .process_pool import _WorkerSpec, _run_worker
+from .options import ProcessOverlapOptions
 from .process_sampling import (
     ProcessSamplingBackend,
     ProcessSamplingReport,
@@ -484,6 +485,7 @@ class ProcessPipelinedBackend(ProcessSamplingBackend):
     """
 
     name = "process_pipelined"
+    options_cls = ProcessOverlapOptions
     conformance_tier = "statistical"
 
     #: The fused plane keeps dealt batches in flight across the sync
@@ -577,7 +579,8 @@ class ProcessPipelinedBackend(ProcessSamplingBackend):
         depth = seed_depth(s, self.initial_depth, self._depth_cap(),
                            self.depth_source, self.estimator)
         report.depth_history.append((0, depth))
-        dealer = LookaheadDealer(s.plan.iterate(iterations), depth)
+        dealer = LookaheadDealer(s.work_source.iterate(iterations),
+                                 depth)
 
         def deal(pairs) -> None:
             for it, planned in pairs:

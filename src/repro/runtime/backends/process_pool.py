@@ -57,6 +57,7 @@ from ...sim.trace import Timeline
 from ..protocol import ProtocolLog, Signal
 from ..resctl import map_worker_totals
 from .base import ExecutionBackend
+from .options import ProcessOptions
 
 
 @dataclass(frozen=True)
@@ -320,6 +321,7 @@ class ProcessPoolBackend(ExecutionBackend):
     """
 
     name = "process"
+    options_cls = ProcessOptions
 
     def __init__(self, session, timeout_s: float = 120.0,
                  mp_context: str | None = None) -> None:
@@ -437,7 +439,7 @@ class ProcessPoolBackend(ExecutionBackend):
         process × pipeline plane overrides this with its bounded
         look-ahead dealing loop while inheriting spawn / handshake /
         parity audit / teardown from :meth:`run`."""
-        for it, planned in self.session.plan.iterate(iterations):
+        for it, planned in self.session.work_source.iterate(iterations):
             self._run_iteration(it, planned, conns, report, rows)
 
     def _finalize(self, conns, report) -> None:

@@ -36,13 +36,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...errors import ProtocolError
-from ...kernels import COUNTERS
+from ...kernels import scoped_counters
 from ...perfmodel.model import StageTimes, WorkloadSplit
 from ...sim.trace import Timeline
 from ..prefetch import PrefetchBuffer
 from ..protocol import ProtocolLog, Signal
 from ..resctl import fold_worker_realized
 from .base import ExecutionBackend
+from .options import ThreadedOptions
 
 
 @dataclass
@@ -53,9 +54,10 @@ class ExecutorReport:
     timing plane the report additionally holds the virtual-time
     bookkeeping (stage history, DRM split trajectory, pipeline timeline)
     so threaded runs are comparable to the virtual-time plane.
-    ``kernel_stats`` is the run's delta of the process-global
-    kernel-traffic counters (:data:`repro.kernels.COUNTERS`) — bytes
-    gathered and quantized payload bytes for the run's feature loads.
+    ``kernel_stats`` is the run's delta of the backend's
+    session-scoped kernel-traffic counters (``backend.counters``, fed
+    via :func:`repro.kernels.scoped_counters`) — bytes gathered and
+    quantized payload bytes for this run's feature loads only.
     """
 
     iterations: int
@@ -91,6 +93,7 @@ class ThreadedBackend(ExecutionBackend):
     """
 
     name = "threaded"
+    options_cls = ThreadedOptions
 
     def __init__(self, session, prefetch_depth: int = 2,
                  timeout_s: float = 60.0) -> None:
@@ -189,7 +192,7 @@ class ThreadedBackend(ExecutionBackend):
 
         def producer() -> None:
             try:
-                for it, planned in s.plan.iterate(iterations):
+                for it, planned in s.work_source.iterate(iterations):
                     produce_iteration(it, planned)
                 for b in buffers:
                     b.close()
@@ -258,12 +261,21 @@ class ThreadedBackend(ExecutionBackend):
                         state["error"] = exc
                     cond.notify_all()
 
-        threads = [threading.Thread(target=producer, daemon=True,
+        def scoped(fn):
+            # Enlist each worker thread into the session-scoped counter
+            # handle so kernel_stats counts only this run's dispatches.
+            def run(*args):
+                with scoped_counters(self.counters):
+                    fn(*args)
+            return run
+
+        threads = [threading.Thread(target=scoped(producer), daemon=True,
                                     name="producer")]
-        threads += [threading.Thread(target=trainer_loop, args=(i,),
+        threads += [threading.Thread(target=scoped(trainer_loop),
+                                     args=(i,),
                                      daemon=True, name=f"trainer{i}")
                     for i in range(n)]
-        counters_before = COUNTERS.snapshot()
+        counters_before = self.counters.snapshot()
         start = time.perf_counter()
         for t in threads:
             t.start()
@@ -311,7 +323,7 @@ class ThreadedBackend(ExecutionBackend):
                 t.join(timeout=self.timeout_s)
 
         report.wall_time_s = time.perf_counter() - start
-        report.kernel_stats = COUNTERS.delta(counters_before)
+        report.kernel_stats = self.counters.delta(counters_before)
         report.replicas_consistent = \
             s.synchronizer.replicas_consistent()
         report.prefetch_high_water = max(b.high_water for b in buffers)

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...errors import ConfigError
-from ...kernels import COUNTERS, BufferPool
+from ...kernels import BufferPool, scoped_counters
 from ...perfmodel.model import StageTimes, WorkloadSplit
 from ...sampling.base import MiniBatchStats
 from ...sim.trace import Timeline
@@ -37,7 +37,9 @@ class EpochReport:
     ``epoch_time_s`` is *virtual* (modelled-hardware) time; functional
     quality metrics are populated only by functional training.
     ``kernel_stats`` (functional epochs only) is the epoch's delta of
-    the kernel-traffic counters (:data:`repro.kernels.COUNTERS`).
+    the backend's session-scoped kernel-traffic counters
+    (``backend.counters``, fed via
+    :func:`repro.kernels.scoped_counters`).
     """
 
     mode: str                                  # "functional" | "simulated"
@@ -83,6 +85,17 @@ class VirtualTimeBackend(ExecutionBackend):
         them (batch-size weighted) and every optimizer steps. Stage times
         for the same iteration come from the realized batch statistics.
         """
+        # Route this (single-threaded) epoch's kernel traffic into the
+        # session-scoped handle so the report counts only this
+        # backend's dispatches even under concurrent co-tenants.
+        counters_before = self.counters.snapshot()
+        with scoped_counters(self.counters):
+            report = self._functional_epoch(max_iterations)
+        report.kernel_stats = self.counters.delta(counters_before)
+        return report
+
+    def _functional_epoch(self,
+                          max_iterations: int | None) -> EpochReport:
         s = self.session
         rows: list[list[float]] = []
         report = EpochReport(mode="functional", iterations=0,
@@ -93,7 +106,6 @@ class VirtualTimeBackend(ExecutionBackend):
         # buffer set: the gather/quantize hot path stops allocating
         # after the largest batch has been seen.
         pool = BufferPool()
-        counters_before = COUNTERS.snapshot()
         iteration = 0
         for planned in s.plan.start_epoch():
             stats_cpu: MiniBatchStats | None = None
@@ -152,7 +164,6 @@ class VirtualTimeBackend(ExecutionBackend):
                 break
 
         report.iterations = iteration
-        report.kernel_stats = COUNTERS.delta(counters_before)
         if s.has_timing:
             timeline = s.make_pipeline().run(rows)
             report.timeline = timeline

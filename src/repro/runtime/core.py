@@ -29,7 +29,6 @@ without one (``platform=None``) is functional-only — the historical
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -56,71 +55,19 @@ from ..sampling import build_sampler
 from ..sampling.base import MiniBatch, MiniBatchStats
 from ..sim.engine import PipelineSimulator
 from .drm import DRMEngine
-from .quantize import TRANSFER_BYTES, quantize_dequantize
+from .quantize import TRANSFER_BYTES
+from .stage_pipeline import (
+    StagePipeline,
+    WorkSource,
+    apply_transfer_policy,
+    gather_batch_features,
+    gather_feature_rows,
+)
 from .synchronizer import GradientSynchronizer
 from .trainer import TrainerNode
 
 #: The four pipeline stages of one iteration (paper Fig. 5).
 PIPELINE_STAGES = ("sample", "load", "transfer", "propagate")
-
-
-def gather_feature_rows(features: np.ndarray, mb: MiniBatch, *,
-                        out: np.ndarray | None = None,
-                        pool: kernels.BufferPool | None = None
-                        ) -> np.ndarray:
-    """The feature-gather (load) stage: one host-memory row gather.
-
-    Dispatches through the kernel registry (:mod:`repro.kernels`), so
-    the active ``REPRO_KERNELS`` tier decides how the rows move; every
-    tier returns the same float64 bits. ``out``/``pool`` make the fast
-    tier allocation-free — **opt-in**: a pooled result is only valid
-    until the next gather from the same pool, so only provably
-    sequential call sites (the virtual backend's epoch loop, the
-    process-plane workers) pass one; the overlapped planes keep several
-    batches in flight and must not (see ``docs/kernels.md``). Without
-    them the call is pure — safe to run concurrently from pipeline
-    stage threads.
-    """
-    return kernels.gather_rows(features, mb.input_nodes, out=out,
-                               pool=pool)
-
-
-def apply_transfer_policy(x0: np.ndarray, trainer_kind: str,
-                          transfer_precision: str) -> np.ndarray:
-    """The transfer stage: the PCIe link's quantization policy.
-
-    Accelerator-bound batches pay the transfer-quantization round trip
-    (paper §VIII extension); the CPU trainer reads host memory at full
-    precision, so the stage is the identity for it.
-    """
-    if trainer_kind == "accel" and transfer_precision != "fp32":
-        return quantize_dequantize(x0, transfer_precision)
-    return x0
-
-
-def gather_batch_features(features: np.ndarray, mb: MiniBatch,
-                          trainer_kind: str,
-                          transfer_precision: str, *,
-                          pool: kernels.BufferPool | None = None
-                          ) -> np.ndarray:
-    """Gather one mini-batch's input features, ready for a trainer.
-
-    The fused load + transfer path: pure function of
-    ``(features, batch, kind, precision)`` so every execution
-    substrate — the in-process backends via
-    :meth:`TrainingSession.load_features`, process-pool workers against
-    their shared-memory mapping, the pipelined backend's separate
-    gather/transfer stage threads — runs the identical bits.
-    Accelerator-bound quantized batches take the registry's **fused**
-    gather+quantize kernel (one pass over the rows, no float64
-    intermediate between the stages on the fast tier); everything else
-    is a plain gather. ``pool`` is the same opt-in as
-    :func:`gather_feature_rows`.
-    """
-    if trainer_kind == "accel" and transfer_precision != "fp32":
-        return kernels.gather_quantize(features, mb.input_nodes,
-                                       transfer_precision, pool=pool)
-    return kernels.gather_rows(features, mb.input_nodes, pool=pool)
 
 
 # ---------------------------------------------------------------------------
@@ -357,10 +304,15 @@ class TrainingSession:
         self.rng = np.random.default_rng(train_cfg.seed + 2)
         self.plan = BatchPlan(dataset.train_ids,
                               self.split_target_counts, self.rng)
-        # Serializes sampler access for backends whose stage threads
-        # sample concurrently (samplers hold a single RNG stream that
-        # is not thread-safe). Single-threaded backends never contend.
-        self._sampler_lock = threading.Lock()
+        # The shared per-item producer chain (sample → gather →
+        # transfer) both session kinds compose; the stage hooks below
+        # delegate to it, and the serving plane builds its own over the
+        # same stack.
+        self.pipeline = StagePipeline(
+            self.sampler, dataset.features, dataset.labels,
+            self.sys_cfg.transfer_precision)
+        # Historical alias for the pipeline's sampler serialization.
+        self._sampler_lock = self.pipeline.sampler_lock
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -440,51 +392,57 @@ class TrainingSession:
             raise ConfigError("split trains no targets")
         return -(-int(self.dataset.train_ids.size) // total)
 
+    @property
+    def work_source(self) -> WorkSource:
+        """The numbered work-item stream backends drain
+        (:class:`~repro.runtime.stage_pipeline.WorkSource`): for a
+        training session, the :class:`BatchPlan`. Serving sessions
+        expose their micro-batch queue through the same property, which
+        is what lets an overlapped dispatcher drive either plane."""
+        return self.plan
+
     # ------------------------------------------------------------------
     # Pipeline-stage hooks (shared hot path)
     #
     # One method per Fig.-5 producer stage, so an overlapped backend can
     # run sample / load / transfer on separate stage threads while
     # executing the exact same bits as the sequential planes (which call
-    # the fused ``load_features``).
+    # the fused ``load_features``). All delegate to the composed
+    # :class:`~repro.runtime.stage_pipeline.StagePipeline` — the
+    # extraction the serving plane shares.
     # ------------------------------------------------------------------
     def sample_stage(self, targets: np.ndarray) -> MiniBatch:
         """Sample one mini-batch (thread-safe).
 
-        The sampler's RNG stream is shared; the lock makes each draw
-        atomic so concurrent stage threads interleave whole batches,
-        never corrupt the stream.
+        The sampler's RNG stream is shared; the pipeline's lock makes
+        each draw atomic so concurrent stage threads interleave whole
+        batches, never corrupt the stream.
         """
-        with self._sampler_lock:
-            return self.sampler.sample(targets)
+        return self.pipeline.sample(targets)
 
     def gather_stage(self, mb: MiniBatch) -> np.ndarray:
         """Feature-gather (load) stage: host-DDR row gather, fp32/64."""
-        return gather_feature_rows(self.dataset.features, mb)
+        return self.pipeline.gather(mb)
 
     def transfer_stage(self, x0: np.ndarray,
                        trainer_kind: str) -> np.ndarray:
         """Transfer stage: the PCIe quantization policy for this link."""
-        return apply_transfer_policy(x0, trainer_kind,
-                                     self.sys_cfg.transfer_precision)
+        return self.pipeline.transfer(x0, trainer_kind)
 
     def load_features(self, mb: MiniBatch, trainer_kind: str, *,
                       pool: kernels.BufferPool | None = None
                       ) -> np.ndarray:
         """Gather one mini-batch's input features, ready for the trainer.
 
-        Delegates to the module-level :func:`gather_batch_features` —
-        the single implementation every execution substrate uses
-        (process-pool workers call it against the shared-memory feature
-        store), so the transfer policy can never drift between planes.
-        ``pool`` is the sequential-call-site opt-in documented there
-        (the threaded producer keeps batches in flight and passes
-        none).
+        Delegates to the pipeline's fused chokepoint
+        (:func:`gather_batch_features` underneath — the single
+        implementation every execution substrate uses; process-pool
+        workers call it against the shared-memory feature store), so
+        the transfer policy can never drift between planes. ``pool`` is
+        the sequential-call-site opt-in documented there (the threaded
+        producer keeps batches in flight and passes none).
         """
-        return gather_batch_features(self.dataset.features, mb,
-                                     trainer_kind,
-                                     self.sys_cfg.transfer_precision,
-                                     pool=pool)
+        return self.pipeline.load(mb, trainer_kind, pool=pool)
 
     def labels_for(self, mb: MiniBatch) -> np.ndarray:
         return self.dataset.labels[mb.targets]

@@ -25,6 +25,7 @@ return a :class:`Sampler`.
 from typing import Callable
 
 from ..errors import ConfigError, SamplingError
+from ..registry import Registry
 from .base import LayerBlock, MiniBatch, MiniBatchStats, Sampler
 from .neighbor import NeighborSampler
 from .saint import SaintEdgeSampler, SaintNodeSampler, SaintRWSampler
@@ -32,7 +33,9 @@ from .full import FullBatchSampler
 from .shared import build_worker_sampler, worker_stream_seed
 
 #: name -> builder(graph, train_ids, train_cfg, feature_dim) -> Sampler.
-SAMPLER_REGISTRY: dict[str, Callable[..., Sampler]] = {}
+#: A :class:`~repro.registry.Registry` (the unified registry
+#: discipline), dict-compatible for legacy call sites.
+SAMPLER_REGISTRY: Registry = Registry("sampler")
 
 
 def register_sampler(name: str,
@@ -44,7 +47,7 @@ def register_sampler(name: str,
     """
     if not name:
         raise SamplingError("sampler name must be non-empty")
-    SAMPLER_REGISTRY[name] = builder
+    SAMPLER_REGISTRY.register(name, builder)
 
 
 def get(name: str) -> Callable[..., Sampler]:
@@ -54,12 +57,13 @@ def get(name: str) -> Callable[..., Sampler]:
     registered family — the same contract as the execution-backend
     registry's ``get_backend``.
     """
-    try:
-        return SAMPLER_REGISTRY[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown sampler {name!r}; registered: "
-            f"{sorted(SAMPLER_REGISTRY)}") from None
+    return SAMPLER_REGISTRY.get(name)
+
+
+def available_samplers() -> tuple[str, ...]:
+    """Registered sampler family names, sorted (the unified
+    ``available_*`` surface shared with backends and kernel tiers)."""
+    return SAMPLER_REGISTRY.available()
 
 
 def build_sampler(name: str, graph, train_ids, train_cfg,
@@ -107,6 +111,7 @@ __all__ = [
     "SAMPLER_REGISTRY",
     "register_sampler",
     "get",
+    "available_samplers",
     "build_sampler",
     "build_worker_sampler",
     "worker_stream_seed",

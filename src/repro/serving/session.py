@@ -1,0 +1,386 @@
+"""The serving session: micro-batched inference over the runtime stack.
+
+:class:`ServingSession` is the online counterpart of
+:class:`~repro.runtime.core.TrainingSession`, composed from the same
+parts the redesign extracted for exactly this purpose:
+
+* the same :class:`~repro.runtime.stage_pipeline.StagePipeline`
+  (sampler via the registry → fused gather/quantize kernels → transfer
+  policy) prepares each micro-batch, so serving exercises the
+  identical hot path the training backends run;
+* its micro-batch queue satisfies the same
+  :class:`~repro.runtime.stage_pipeline.WorkSource` protocol as a
+  training :class:`~repro.runtime.core.BatchPlan` (numbered work
+  items), exposed through the same ``work_source`` property;
+* it carries its own session-scoped
+  :class:`~repro.runtime.resctl.StageMonitor` and
+  :class:`~repro.kernels.KernelCounters` handles, so a serving session
+  and a co-tenant training session never interleave stats;
+* it registers with the node's
+  :class:`~repro.runtime.resctl.NodeAllocator` — the grant's live
+  ``depth_cap`` bounds how many micro-batches one :meth:`step`
+  executes, which is how the resctl loop arbitrates between a
+  training run's look-ahead depth and a serving session's burst
+  capacity on one machine.
+
+The request lifecycle (single-threaded by design — the owner's serve
+loop drives ``submit``/``step``; determinism is what the conformance
+tier and the property tests buy with that):
+
+``submit`` → admission (``closed`` / ``queue_full`` / ``no_credit``
+typed sheds, *before* any stage work) → micro-batcher (deadline or
+size flush) → ``step`` (allocator-capped batch execution: stage
+pipeline → model forward → per-request responses).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..config import SystemConfig, TrainingConfig, layer_dims
+from ..errors import ConfigError
+from ..graph.datasets import GraphDataset
+from ..kernels import KernelCounters, scoped_counters
+from ..nn.models import build_model
+from ..runtime.resctl import DEFAULT_ALLOCATOR, NodeAllocator, \
+    StageMonitor
+from ..runtime.stage_pipeline import StagePipeline, WorkSource
+from ..sampling import build_sampler
+from .admission import AdmissionController, CreditScheduler
+from .microbatch import MicroBatch, MicroBatcher
+from .requests import InferenceRequest, InferenceResponse, ShedResponse
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the serving front door (validated eagerly).
+
+    ``latency_budget_s`` is the contract the benchmark holds the
+    session to (accepted p99 within budget); ``coalesce_window_s``
+    (default: a quarter of the budget) is how much of it the batcher
+    may spend coalescing. Admission bounds — the pending-request queue
+    and the per-tenant credit bucket — are what keep the budget
+    holdable under overload: beyond them the session sheds (typed)
+    instead of queueing.
+    """
+
+    latency_budget_s: float = 0.25
+    coalesce_window_s: float | None = None
+    max_batch_targets: int = 64
+    max_pending_requests: int = 64
+    #: Per-tenant credit refill in target-vertices/s; ``None``
+    #: disables credit scheduling (single-tenant default).
+    credit_rate_targets_per_s: float | None = None
+    credit_burst_targets: int = 128
+    #: Micro-batches one :meth:`ServingSession.step` may execute —
+    #: also the ``max_depth`` the session requests from the node
+    #: allocator (the live grant can cap it lower under contention).
+    max_depth: int = 2
+    #: Which trainer kind's transfer policy serving pays: ``"accel"``
+    #: (quantized PCIe path) or ``"cpu"`` (host-memory, identity).
+    device: str = "accel"
+
+    def __post_init__(self) -> None:
+        if self.latency_budget_s <= 0:
+            raise ConfigError("latency_budget_s must be positive")
+        window = self.coalesce_window_s
+        if window is not None and not \
+                0 < window <= self.latency_budget_s:
+            raise ConfigError(
+                "coalesce_window_s must be in (0, latency_budget_s]")
+        if self.max_batch_targets < 1:
+            raise ConfigError("max_batch_targets must be >= 1")
+        if self.max_pending_requests < 1:
+            raise ConfigError("max_pending_requests must be >= 1")
+        if self.max_depth < 1:
+            raise ConfigError("max_depth must be >= 1")
+        if self.device not in ("cpu", "accel"):
+            raise ConfigError(
+                f"device must be 'cpu' or 'accel', got {self.device!r}")
+
+    @property
+    def window_s(self) -> float:
+        """The effective coalesce window."""
+        if self.coalesce_window_s is not None:
+            return self.coalesce_window_s
+        return self.latency_budget_s / 4.0
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of a serving run (see also
+    :mod:`repro.serving.loadgen` for the open-loop wrapper)."""
+
+    accepted: int = 0
+    completed: int = 0
+    shed: dict[str, int] = field(default_factory=dict)
+    latencies_s: list[float] = field(default_factory=list)
+    batch_sizes: list[int] = field(default_factory=list)
+    targets_served: int = 0
+    kernel_stats: dict[str, int] = field(default_factory=dict)
+    credit_ledger: dict[str, dict[str, float]] = field(
+        default_factory=dict)
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def offered(self) -> int:
+        return self.accepted + self.shed_total
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    def to_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "completed": self.completed,
+            "shed": dict(self.shed),
+            "shed_rate": (self.shed_total / self.offered
+                          if self.offered else 0.0),
+            "targets_served": self.targets_served,
+            "batches": len(self.batch_sizes),
+            "mean_batch_requests": (float(np.mean(self.batch_sizes))
+                                    if self.batch_sizes else 0.0),
+            "latency_p50_ms": self.latency_percentile(50) * 1e3,
+            "latency_p99_ms": self.latency_percentile(99) * 1e3,
+            "kernel_stats": dict(self.kernel_stats),
+            "credit_ledger": {t: dict(v)
+                              for t, v in self.credit_ledger.items()},
+        }
+
+
+class ServingSession:
+    """Micro-batched online inference over the shared runtime stack.
+
+    Parameters
+    ----------
+    dataset / train_cfg / sys_cfg:
+        The workload, the sampler/model hyper-parameters (fanouts,
+        layer count, model family — the same ``TrainingConfig`` a
+        training session takes, so a serving session can be stood up
+        over exactly the trained configuration), and the system policy
+        (transfer precision).
+    config:
+        The :class:`ServingConfig` front-door knobs.
+    params:
+        Flat parameter vector to serve (e.g.
+        ``trained_model.get_flat_params()``); ``None`` serves the
+        seed-initialized model (benchmarks).
+    allocator:
+        Node-level arbitration (defaults to the process-wide
+        :data:`~repro.runtime.resctl.DEFAULT_ALLOCATOR`, shared with
+        the overlapped training backends).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(self, dataset: GraphDataset,
+                 train_cfg: TrainingConfig,
+                 sys_cfg: SystemConfig | None = None, *,
+                 config: ServingConfig | None = None,
+                 params: np.ndarray | None = None,
+                 allocator: NodeAllocator | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.dataset = dataset
+        self.train_cfg = train_cfg
+        self.sys_cfg = sys_cfg if sys_cfg is not None else SystemConfig()
+        self.config = config if config is not None else ServingConfig()
+        self.clock = clock
+
+        self.dims = layer_dims(dataset.spec.feature_dim,
+                               train_cfg.hidden_dim,
+                               dataset.spec.num_classes,
+                               train_cfg.num_layers)
+        sampler = build_sampler(
+            train_cfg.sampler, dataset.graph, dataset.train_ids,
+            train_cfg, dataset.spec.feature_dim)
+        #: The shared per-item producer chain — the same class a
+        #: training session composes.
+        self.pipeline = StagePipeline(
+            sampler, dataset.features, dataset.labels,
+            self.sys_cfg.transfer_precision)
+        self.model = build_model(train_cfg.model, self.dims,
+                                 train_cfg.seed)
+        if params is not None:
+            self.model.set_flat_params(np.asarray(params,
+                                                  dtype=np.float64))
+        self.degrees = dataset.graph.out_degrees
+
+        # Session-scoped observability handles (never shared with a
+        # co-tenant training session).
+        self.monitor = StageMonitor()
+        self.counters = KernelCounters()
+
+        self.batcher = MicroBatcher(self.config.window_s,
+                                    self.config.max_batch_targets,
+                                    clock=clock)
+        self.admission = AdmissionController(
+            self.config.max_pending_requests)
+        self.credits = CreditScheduler(
+            self.config.credit_rate_targets_per_s,
+            self.config.credit_burst_targets, clock=clock)
+
+        self.allocator = allocator if allocator is not None \
+            else DEFAULT_ALLOCATOR
+        self._grant = self.allocator.register(
+            name=f"serving:{dataset.name}",
+            max_depth=self.config.max_depth)
+        self.closed = False
+        self.report = ServingReport()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # WorkSource surface (shared with BatchPlan)
+    # ------------------------------------------------------------------
+    @property
+    def work_source(self) -> WorkSource:
+        """The numbered micro-batch stream — the serving counterpart
+        of a training session's :class:`~repro.runtime.core.BatchPlan`
+        behind the same protocol."""
+        return self.batcher
+
+    # ------------------------------------------------------------------
+    # Front door
+    # ------------------------------------------------------------------
+    def submit(self, targets, tenant: str = "default", *,
+               arrival_s: float | None = None
+               ) -> ShedResponse | None:
+        """Submit one inference request.
+
+        Returns ``None`` on acceptance (the response arrives from a
+        later :meth:`step`) or a typed :class:`ShedResponse`. All
+        shedding happens here — a shed request never reaches the
+        sampler. ``arrival_s`` lets an open-loop generator stamp the
+        *scheduled* arrival so measured latency includes queueing
+        delay.
+        """
+        now = self.clock()
+        rid = self._next_id
+        self._next_id += 1
+        if arrival_s is None:
+            arrival_s = now
+        targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+        if self.closed:
+            return self._shed(rid, tenant, "closed", now)
+        if targets.size == 0:
+            raise ConfigError("request needs at least one target")
+        if self.admission.pending >= self.config.max_pending_requests:
+            return self._shed(rid, tenant, "queue_full", now)
+        if not self.credits.try_spend(tenant, int(targets.size)):
+            return self._shed(rid, tenant, "no_credit", now)
+        admitted = self.admission.try_admit()
+        assert admitted  # bound checked above; front door is 1-thread
+        request = InferenceRequest(request_id=rid, tenant=tenant,
+                                   targets=targets,
+                                   arrival_s=arrival_s)
+        self.batcher.offer(request)
+        self.report.accepted += 1
+        return None
+
+    def _shed(self, rid: int, tenant: str, reason: str,
+              now: float) -> ShedResponse:
+        self.report.shed[reason] = self.report.shed.get(reason, 0) + 1
+        return ShedResponse(request_id=rid, tenant=tenant,
+                            reason=reason, shed_s=now)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> list[InferenceResponse]:
+        """Flush due micro-batches and execute up to the allocator's
+        live grant of them; returns the completed responses."""
+        self.batcher.poll()
+        cap = self.config.max_depth
+        if not self._grant.released:
+            cap = min(cap, self._grant.depth_cap)
+        responses: list[InferenceResponse] = []
+        for batch in self.batcher.take(max(1, cap)):
+            responses.extend(self._execute(batch))
+        return responses
+
+    def drain(self) -> list[InferenceResponse]:
+        """Force-flush and execute everything pending (shutdown /
+        end-of-run path)."""
+        responses: list[InferenceResponse] = []
+        self.batcher.flush()
+        while self.batcher.ready_batches:
+            responses.extend(self.step())
+            self.batcher.flush()
+        return responses
+
+    def _execute(self, batch: MicroBatch) -> list[InferenceResponse]:
+        # Coalescing means the same vertex can appear in several
+        # member requests; the sampler (and the stage work) sees each
+        # target once, and predictions scatter back per request.
+        unique_targets, inverse = np.unique(batch.targets,
+                                            return_inverse=True)
+        with scoped_counters(self.counters):
+            prepared = self.pipeline.prepare(unique_targets,
+                                             self.config.device,
+                                             with_labels=False)
+            t0 = time.perf_counter()
+            logits = self.model.forward(prepared.mb, prepared.x0,
+                                        self.degrees)
+            propagate_s = time.perf_counter() - t0
+        predictions = np.argmax(logits, axis=1)[inverse]
+        # Canonical resctl stage keys (sample/load/transfer/propagate).
+        self.monitor.observe_times({
+            "sample": prepared.timings.sample_s,
+            "load": prepared.timings.gather_s,
+            "transfer": prepared.timings.transfer_s,
+            "propagate": propagate_s,
+        })
+        completed_s = self.clock()
+        responses: list[InferenceResponse] = []
+        offset = 0
+        for request in batch.requests:
+            n = request.num_targets
+            responses.append(InferenceResponse(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                predictions=predictions[offset:offset + n],
+                completed_s=completed_s,
+                latency_s=completed_s - request.arrival_s,
+                batch_seq=batch.seq))
+            offset += n
+        self.admission.complete(len(batch.requests))
+        self.report.completed += len(batch.requests)
+        self.report.latencies_s.extend(r.latency_s for r in responses)
+        self.report.batch_sizes.append(len(batch.requests))
+        self.report.targets_served += batch.num_targets
+        return responses
+
+    # ------------------------------------------------------------------
+    def finalize_report(self) -> ServingReport:
+        """Stamp the stats handles into the report and return it."""
+        self.report.kernel_stats = self.counters.snapshot()
+        self.report.credit_ledger = self.credits.ledger()
+        return self.report
+
+    def close(self) -> ServingReport:
+        """Shut the front door (subsequent submits shed ``closed``),
+        release the allocator grant, and return the final report."""
+        if not self.closed:
+            self.closed = True
+            self._grant.release()
+        return self.finalize_report()
+
+    def __enter__(self) -> "ServingSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ServingSession over {self.dataset.name} "
+                f"pending={self.admission.pending} "
+                f"{'closed' if self.closed else 'open'}>")

@@ -42,6 +42,13 @@ This module packages that guarantee as a reusable kit:
 
 Third-party backends needing constructor arguments can extend
 :data:`BACKEND_KWARGS` before the suite runs.
+
+The kit also carries the **serving tier**
+(:func:`assert_serving_conforms`): the online plane built on the same
+:class:`~repro.runtime.stage_pipeline.StagePipeline` must partition
+every submitted request into exactly one outcome (response or typed
+shed), reproduce a reference replay of the shared stack bit for bit,
+and conserve per-tenant credits.
 """
 
 from __future__ import annotations
@@ -50,18 +57,30 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import SystemConfig, TrainingConfig
+from repro.config import SystemConfig, TrainingConfig, layer_dims
 from repro.errors import ConfigError
 from repro.graph.datasets import GraphDataset
 from repro.hw.topology import hyscale_cpu_fpga_platform
-from repro.runtime import TrainingSession, available_backends, get_backend
+from repro.nn.models import build_model
+from repro.runtime import (
+    TrainingSession,
+    available_backends,
+    build_backend,
+    get_backend,
+)
+from repro.runtime.resctl import NodeAllocator
+from repro.runtime.stage_pipeline import StagePipeline
+from repro.sampling import build_sampler
+from repro.serving import ServingConfig, ServingSession, VirtualClock
 
 #: The reference plane all other backends are held to.
 REFERENCE_BACKEND = "virtual"
 
 #: Per-backend constructor keyword overrides used by the kit. Keys are
 #: registry names; anything not listed is constructed as
-#: ``get_backend(name)(session)``.
+#: ``build_backend(name, session)`` — the typed-options front door, so
+#: a typo in this table fails with an unknown-option error naming the
+#: backend instead of a bare ``TypeError``.
 BACKEND_KWARGS: dict[str, dict] = {
     "threaded": {"timeout_s": 30.0},
     "process": {"timeout_s": 120.0},
@@ -174,7 +193,7 @@ def run_backend(name: str, case: ConformanceCase,
     """
     session = make_session(case, dataset)
     kwargs = {**BACKEND_KWARGS.get(name, {}), **(extra_kwargs or {})}
-    backend = get_backend(name)(session, **kwargs)
+    backend = build_backend(name, session, **kwargs)
     report = backend.run_epoch(case.max_iterations)
     return session, report
 
@@ -360,3 +379,169 @@ def _assert_epoch_bookkeeping(case, cand_session, cand) -> None:
         assert cand.iterations == \
             cand_session.iterations_per_epoch()
         assert cand_session.plan.epochs_started == 1
+
+
+# ----------------------------------------------------------------------
+# The serving tier
+# ----------------------------------------------------------------------
+#
+# The serving plane rides the same StagePipeline the training backends
+# do, so its conformance matrix is request-level rather than
+# loss-level: every submitted request gets exactly one outcome
+# (response or typed shed — never both, never neither, never twice),
+# every completed batch's predictions are bit-identical to a reference
+# replay of the same stack, and per-tenant credit spending conserves.
+
+
+def default_serving_script(dataset: GraphDataset,
+                           num_requests: int = 40, *,
+                           targets_per_request: int = 4,
+                           tenants: tuple[str, ...] = ("a", "b"),
+                           seed: int = 3) -> list[tuple[np.ndarray, str]]:
+    """A deterministic request script with cross-request duplicate
+    targets (the case micro-batch dedup must get right)."""
+    rng = np.random.default_rng(seed)
+    ids = dataset.train_ids
+    script = []
+    for i in range(num_requests):
+        targets = rng.choice(ids, size=targets_per_request,
+                             replace=False)
+        script.append((targets, tenants[i % len(tenants)]))
+    return script
+
+
+def run_serving_audit(dataset: GraphDataset,
+                      train_cfg: TrainingConfig,
+                      sys_cfg: SystemConfig, *,
+                      config: ServingConfig,
+                      script: list[tuple[np.ndarray, str]],
+                      step_every: int = 4,
+                      advance_s: float = 0.01):
+    """Replay ``script`` against a fresh :class:`ServingSession` on a
+    virtual clock; returns ``(session, responses, sheds)``.
+
+    The clock advances ``advance_s`` per submission and the session
+    steps every ``step_every`` submissions, so batches flush by both
+    deadline and size along the way; the tail drains explicitly.
+    """
+    clock = VirtualClock()
+    session = ServingSession(dataset, train_cfg, sys_cfg,
+                             config=config,
+                             allocator=NodeAllocator(depth_budget=8),
+                             clock=clock)
+    responses, sheds = [], []
+    for i, (targets, tenant) in enumerate(script):
+        shed = session.submit(targets, tenant=tenant)
+        if shed is not None:
+            sheds.append(shed)
+        clock.advance(advance_s)
+        if (i + 1) % step_every == 0:
+            responses.extend(session.step())
+    clock.advance(config.window_s)
+    responses.extend(session.drain())
+    session.close()
+    return session, responses, sheds
+
+
+def assert_serving_conforms(dataset: GraphDataset,
+                            train_cfg: TrainingConfig,
+                            sys_cfg: SystemConfig, *,
+                            config: ServingConfig,
+                            script: list[tuple[np.ndarray, str]],
+                            **audit_kwargs) -> None:
+    """Run the serving audit and assert the serving-tier matrix:
+
+    * **outcome partition** — every submitted request appears in
+      exactly one of (responses, sheds); no drops, no duplicates;
+    * **typed shed only** — every shed carries a recognized reason and
+      shed requests never reach the sampler (they do no stage work, so
+      the executed-batch audit below cannot contain them);
+    * **batch integrity** — each response's ``batch_seq`` names a real
+      flushed batch; batches partition the accepted requests;
+    * **bit-identical stack** — replaying each executed batch's unique
+      target set through a fresh reference ``StagePipeline`` + model
+      (same seeds, same sample order) reproduces every prediction bit
+      for bit: serving *is* the training stack, not a lookalike;
+    * **credit conservation** — per tenant, targets spent never exceed
+      burst + refilled, and equal the accepted requests' target total;
+    * **stats isolation** — the session observed the canonical stage
+      keys on its own monitor and counted kernel work on its own
+      counters.
+    """
+    session, responses, sheds = run_serving_audit(
+        dataset, train_cfg, sys_cfg, config=config, script=script,
+        **audit_kwargs)
+
+    # Outcome partition over submitted ids.
+    ids = [r.request_id for r in responses] + \
+        [s.request_id for s in sheds]
+    assert sorted(ids) == list(range(len(script))), \
+        "responses + sheds must partition the submitted requests"
+
+    from repro.serving import SHED_REASONS
+    for shed in sheds:
+        assert shed.reason in SHED_REASONS
+
+    # Batch integrity: group accepted requests by the batch that
+    # served them, in flush order.
+    by_batch: dict[int, list] = {}
+    for r in responses:
+        by_batch.setdefault(r.batch_seq, []).append(r)
+    assert len(by_batch) == session.batcher.flushed_batches
+    assert sum(len(v) for v in by_batch.values()) == \
+        session.report.completed == session.report.accepted
+
+    # Bit-identical stack: a reference pipeline built from the same
+    # seeds replays each executed batch's unique target set in flush
+    # order and must reproduce every prediction exactly.
+    ref_sampler = build_sampler(
+        train_cfg.sampler, dataset.graph, dataset.train_ids,
+        train_cfg, dataset.spec.feature_dim)
+    ref_pipeline = StagePipeline(ref_sampler, dataset.features,
+                                 dataset.labels,
+                                 sys_cfg.transfer_precision)
+    dims = layer_dims(dataset.spec.feature_dim, train_cfg.hidden_dim,
+                      dataset.spec.num_classes, train_cfg.num_layers)
+    ref_model = build_model(train_cfg.model, dims, train_cfg.seed)
+    script_targets = {i: t for i, (t, _) in enumerate(script)}
+    for seq in sorted(by_batch):
+        batch_rs = sorted(by_batch[seq],
+                          key=lambda r: r.request_id)
+        concat = np.concatenate(
+            [script_targets[r.request_id] for r in batch_rs])
+        unique, inverse = np.unique(concat, return_inverse=True)
+        prepared = ref_pipeline.prepare(unique, config.device,
+                                        with_labels=False)
+        logits = ref_model.forward(prepared.mb, prepared.x0,
+                                   dataset.graph.out_degrees)
+        want = np.argmax(logits, axis=1)[inverse]
+        offset = 0
+        for r in batch_rs:
+            n = script_targets[r.request_id].size
+            np.testing.assert_array_equal(
+                r.predictions, want[offset:offset + n],
+                err_msg=f"request {r.request_id} (batch {seq}): "
+                        "serving predictions diverge from the "
+                        "reference stack")
+            offset += n
+
+    # Credit conservation (when credits are enabled).
+    accepted_by_tenant: dict[str, int] = {}
+    for r in responses:
+        accepted_by_tenant[r.tenant] = \
+            accepted_by_tenant.get(r.tenant, 0) + \
+            script_targets[r.request_id].size
+    for tenant, row in session.credits.ledger().items():
+        assert row["spent_targets"] <= row["burst_targets"] + \
+            row["refilled_targets"] + 1e-6, \
+            f"tenant {tenant!r} spent more credits than it was issued"
+        assert row["spent_targets"] == \
+            accepted_by_tenant.get(tenant, 0), \
+            (f"tenant {tenant!r} ledger disagrees with the accepted "
+             "request total")
+
+    # Stats landed on the session's own handles.
+    if responses:
+        assert set(session.monitor.stages()) == \
+            {"sample", "load", "transfer", "propagate"}
+        assert session.counters.snapshot().get("gather_rows", 0) > 0

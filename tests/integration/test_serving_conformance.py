@@ -1,0 +1,150 @@
+"""The serving conformance tier, plus the two-session stats-isolation
+regression.
+
+``backend_conformance.assert_serving_conforms`` is the serving-plane
+counterpart of the training parity matrix: every submitted request
+gets exactly one outcome, executed batches reproduce a reference
+replay of the shared :class:`StagePipeline` + model **bit for bit**,
+per-tenant credits conserve, and stats land on session-scoped handles.
+This module runs that matrix over the interesting configurations, and
+pins the regression the scoped handles exist for: a training session
+and a serving session running *concurrently* must not interleave
+kernel counters or stage monitors.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from backend_conformance import (
+    assert_serving_conforms,
+    default_serving_script,
+)
+from repro.config import SystemConfig, TrainingConfig
+from repro.runtime import TrainingSession, build_backend
+from repro.runtime.resctl import NodeAllocator
+from repro.serving import ServingConfig, ServingSession, VirtualClock
+
+
+class TestServingConformance:
+    def test_accel_int8_stack(self, tiny_ds, small_cfg):
+        """The flagship serving stack: fused gather+int8 quantize on
+        the accel transfer path, credits disabled."""
+        assert_serving_conforms(
+            tiny_ds, small_cfg,
+            SystemConfig(transfer_precision="int8"),
+            config=ServingConfig(latency_budget_s=0.2,
+                                 max_batch_targets=16,
+                                 max_pending_requests=64,
+                                 device="accel"),
+            script=default_serving_script(tiny_ds))
+
+    def test_cpu_fp32_stack_with_tight_credits(self, tiny_ds,
+                                               small_cfg):
+        """CPU transfer path (identity policy) under a credit bucket
+        tight enough that the audit sees real ``no_credit`` sheds —
+        conservation must still hold."""
+        assert_serving_conforms(
+            tiny_ds, small_cfg, SystemConfig(),
+            config=ServingConfig(latency_budget_s=0.2,
+                                 max_batch_targets=16,
+                                 max_pending_requests=64,
+                                 credit_rate_targets_per_s=200.0,
+                                 credit_burst_targets=24,
+                                 device="cpu"),
+            script=default_serving_script(tiny_ds, num_requests=60))
+
+    def test_tiny_queue_sheds_queue_full_without_drops(self, tiny_ds,
+                                                       small_cfg):
+        """A one-slot admission queue sheds most of the script as
+        ``queue_full``; the partition/bit-parity matrix must hold for
+        whatever was accepted."""
+        assert_serving_conforms(
+            tiny_ds, small_cfg, SystemConfig(),
+            config=ServingConfig(latency_budget_s=0.2,
+                                 max_batch_targets=16,
+                                 max_pending_requests=1,
+                                 device="cpu"),
+            script=default_serving_script(tiny_ds),
+            step_every=1)
+
+    def test_saint_sampler_stack(self, tiny_ds):
+        """The conformance matrix is sampler-agnostic: a non-neighbor
+        sampler behind the same registry surface must pass it too."""
+        cfg = TrainingConfig(model="sage", minibatch_size=32,
+                             fanouts=(4, 3), hidden_dim=16,
+                             learning_rate=0.05, seed=11,
+                             sampler="saint-rw")
+        assert_serving_conforms(
+            tiny_ds, cfg, SystemConfig(),
+            config=ServingConfig(latency_budget_s=0.2,
+                                 max_batch_targets=16,
+                                 device="cpu"),
+            script=default_serving_script(tiny_ds, num_requests=24))
+
+
+class TestTwoSessionStatsIsolation:
+    """The regression the session-scoped handles exist for: concurrent
+    sessions must not interleave each other's stats."""
+
+    def _train(self, tiny_ds, small_cfg):
+        session = TrainingSession(tiny_ds, small_cfg,
+                                  SystemConfig(hybrid=True, drm=False),
+                                  num_trainers=2)
+        backend = build_backend("threaded", session, timeout_s=30.0)
+        report = backend.run_epoch(4)
+        return backend, report
+
+    def test_concurrent_training_and_serving_do_not_interleave(
+            self, tiny_ds, small_cfg):
+        # Solo training run: the kernel-stats baseline.
+        _, solo = self._train(tiny_ds, small_cfg)
+
+        # Same training run again, now with a serving session churning
+        # on another thread for its whole duration.
+        clock = VirtualClock()
+        serving = ServingSession(
+            tiny_ds, small_cfg, SystemConfig(),
+            config=ServingConfig(latency_budget_s=0.2,
+                                 max_batch_targets=8, device="cpu"),
+            allocator=NodeAllocator(depth_budget=8), clock=clock)
+        stop = threading.Event()
+        rng = np.random.default_rng(2)
+
+        def serve_loop():
+            while not stop.is_set():
+                serving.submit(rng.choice(tiny_ds.train_ids, size=4,
+                                          replace=False))
+                clock.advance(0.05)
+                serving.step()
+            clock.advance(1.0)
+            serving.drain()
+
+        thread = threading.Thread(target=serve_loop, daemon=True)
+        thread.start()
+        try:
+            backend, concurrent = self._train(tiny_ds, small_cfg)
+        finally:
+            stop.set()
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        report = serving.close()
+
+        # Training's counters saw none of serving's work: identical
+        # stats to the solo run, bit for bit.
+        assert concurrent.kernel_stats == solo.kernel_stats
+        np.testing.assert_array_equal(solo.losses, concurrent.losses)
+
+        # Serving's counters saw exactly its own work.
+        assert report.completed == report.accepted > 0
+        assert report.kernel_stats.get("gather_rows", 0) > 0
+        assert serving.counters is not backend.counters
+        assert serving.monitor is not backend.monitor
+        # Each batch observed each canonical stage once on serving's
+        # own monitor.
+        batches = len(report.batch_sizes)
+        for stage in ("sample", "load", "transfer", "propagate"):
+            assert serving.monitor.count(stage) == batches

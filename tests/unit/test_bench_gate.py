@@ -1,5 +1,6 @@
-"""The kernel-bench regression gate (``benchmarks/check_regression.py``)
-and the committed ``bench-kernels/v1`` baseline it guards."""
+"""The bench regression gate (``benchmarks/check_regression.py``) and
+the committed baselines it guards: the ``bench-kernels/v1`` kernel
+micro-bench and the ``bench-serving/v1`` serving smoke."""
 
 import copy
 import importlib.util
@@ -110,3 +111,102 @@ class TestCommittedBaseline:
 
     def test_baseline_passes_its_own_gate(self, baseline):
         assert gate.compare(baseline, copy.deepcopy(baseline)) == []
+
+
+def _serving_doc(budget_s=0.25, **scenarios):
+    return {
+        "schema": "bench-serving/v1",
+        "latency_budget_s": budget_s,
+        "scenarios": {
+            name: {"offered": off, "accepted": off - sum(shed.values()),
+                   "completed": off - sum(shed.values()),
+                   "shed": dict(shed),
+                   "shed_rate": sum(shed.values()) / off,
+                   "latency_p99_ms": p99_ms,
+                   "throughput_rps": rps}
+            for name, (off, shed, p99_ms, rps) in scenarios.items()},
+    }
+
+
+SERVING_BASE = _serving_doc(
+    nominal=(150, {}, 30.0, 150.0),
+    overload=(2000, {"queue_full": 200}, 12.0, 3800.0))
+
+
+class TestCompareServing:
+    def test_identical_run_passes(self):
+        assert gate.compare_serving(
+            SERVING_BASE, copy.deepcopy(SERVING_BASE)) == []
+
+    def test_missing_scenario_fails(self):
+        cur = copy.deepcopy(SERVING_BASE)
+        del cur["scenarios"]["overload"]
+        assert any("missing" in p
+                   for p in gate.compare_serving(SERVING_BASE, cur))
+
+    def test_budget_blowout_fails(self):
+        cur = copy.deepcopy(SERVING_BASE)
+        cur["scenarios"]["overload"]["latency_p99_ms"] = 400.0
+        problems = gate.compare_serving(SERVING_BASE, cur)
+        assert any("latency budget" in p for p in problems)
+
+    def test_dropped_requests_fail(self):
+        cur = copy.deepcopy(SERVING_BASE)
+        cur["scenarios"]["nominal"]["completed"] -= 3
+        problems = gate.compare_serving(SERVING_BASE, cur)
+        assert any("never completed" in p for p in problems)
+
+    def test_untyped_shed_fails(self):
+        cur = copy.deepcopy(SERVING_BASE)
+        cur["scenarios"]["overload"]["shed"] = {"vibes": 80}
+        problems = gate.compare_serving(SERVING_BASE, cur)
+        assert any("untyped" in p for p in problems)
+
+    def test_overload_that_stops_shedding_fails(self):
+        cur = copy.deepcopy(SERVING_BASE)
+        cur["scenarios"]["overload"]["shed"] = {}
+        cur["scenarios"]["overload"]["shed_rate"] = 0.0
+        problems = gate.compare_serving(SERVING_BASE, cur)
+        assert any("stopped gating" in p for p in problems)
+
+    def test_throughput_collapse_fails_and_slack_is_tunable(self):
+        cur = copy.deepcopy(SERVING_BASE)
+        cur["scenarios"]["nominal"]["throughput_rps"] = 10.0
+        assert any("throughput" in p
+                   for p in gate.compare_serving(SERVING_BASE, cur))
+        assert gate.compare_serving(SERVING_BASE, cur,
+                                    throughput_slack=0.01) == []
+
+    def test_schema_mismatch_rejected(self):
+        bad = copy.deepcopy(SERVING_BASE)
+        bad["schema"] = "bench-serving/v2"
+        assert gate.compare_serving(SERVING_BASE, bad)
+
+
+class TestCommittedServingBaseline:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        with open(_BENCH_DIR / "BENCH_serving.json") as fh:
+            return json.load(fh)
+
+    def test_schema_and_required_scenarios(self, baseline):
+        assert baseline["schema"] == "bench-serving/v1"
+        budget_ms = baseline["latency_budget_s"] * 1e3
+        for name in ("nominal", "overload", "credits"):
+            row = baseline["scenarios"][name]
+            assert row["completed"] == row["accepted"]
+            assert row["latency_p99_ms"] <= budget_ms
+            assert row["throughput_rps"] > 0
+
+    def test_baseline_pins_the_acceptance_criteria(self, baseline):
+        # The PR's acceptance criterion: typed shed under overload
+        # while accepted p99 stays within the budget.
+        overload = baseline["scenarios"]["overload"]
+        assert overload["shed"].get("queue_full", 0) > 0
+        assert baseline["scenarios"]["nominal"]["shed"] == {}
+        assert baseline["scenarios"]["credits"]["shed"].get(
+            "no_credit", 0) > 0
+
+    def test_baseline_passes_its_own_gate(self, baseline):
+        assert gate.compare_serving(baseline,
+                                    copy.deepcopy(baseline)) == []

@@ -1,15 +1,22 @@
 """Registry error paths: every lookup failure names the alternatives.
 
-The three registries (execution backends, samplers-by-config, sampler
-builders) are the library's extension seams; a misspelled key must fail
-eagerly with a message that lists what *is* registered, so the fix is
-in the traceback.
+The three registries (execution backends, sampler builders, kernel
+ops/tiers) are the library's extension seams. Since the unification
+they are all instances of one :class:`repro.registry.Registry`, so a
+misspelled key fails eagerly with one uniform message shape — the
+unknown name plus what *is* registered, so the fix is in the
+traceback. These tests pin both the per-registry behavior and the
+shared surface (``register`` / ``get`` / ``available()``).
 """
+
+import dataclasses
 
 import pytest
 
 from repro.errors import ConfigError
 import repro.sampling as sampling
+from repro.kernels import KERNELS, available_tiers, register_kernel
+from repro.registry import Registry
 from repro.runtime import (
     BACKENDS,
     ExecutionBackend,
@@ -17,6 +24,14 @@ from repro.runtime import (
     get_backend,
     register_backend,
 )
+from repro.runtime.backends import (
+    BackendOptions,
+    ThreadedOptions,
+    build_backend,
+    resolve_options,
+)
+from repro.runtime.backends.options import validate_options_cls
+from repro.sampling import SAMPLER_REGISTRY, available_samplers
 
 
 class TestBackendRegistryErrors:
@@ -69,3 +84,135 @@ class TestSamplerRegistryErrors:
         sampler = builder(tiny_ds.graph, tiny_ds.train_ids, small_cfg,
                           tiny_ds.spec.feature_dim)
         assert isinstance(sampler, sampling.NeighborSampler)
+
+    def test_available_samplers_sorted_and_complete(self):
+        names = available_samplers()
+        assert names == tuple(sorted(names))
+        assert {"full", "neighbor", "saint-rw"} <= set(names)
+
+
+class TestKernelRegistryErrors:
+    def test_register_kernel_unknown_op_lists_ops(self):
+        with pytest.raises(ConfigError) as exc:
+            register_kernel("warp_gather", "fast", lambda: None)
+        msg = str(exc.value)
+        assert "unknown kernel op" in msg
+        assert "warp_gather" in msg
+        for op in ("gather", "segment_sum"):
+            assert op in msg
+
+    def test_available_tiers_unknown_op_lists_ops(self):
+        with pytest.raises(ConfigError) as exc:
+            available_tiers("warp_gather")
+        assert "unknown kernel op" in str(exc.value)
+
+    def test_available_tiers_known_op(self):
+        tiers = available_tiers("gather")
+        assert tiers == tuple(sorted(tiers))
+        assert {"fast", "reference"} <= set(tiers)
+
+
+class TestUnifiedRegistrySurface:
+    """The three seams really are the one Registry class, with one
+    error shape."""
+
+    REGISTRIES = {
+        "execution backend": lambda: BACKENDS,
+        "sampler": lambda: SAMPLER_REGISTRY,
+        "kernel op": lambda: KERNELS,
+    }
+
+    @pytest.mark.parametrize("kind", sorted(REGISTRIES))
+    def test_shared_class_and_error_shape(self, kind):
+        reg = self.REGISTRIES[kind]()
+        assert isinstance(reg, Registry)
+        assert reg.available() == tuple(sorted(reg))
+        with pytest.raises(ConfigError) as exc:
+            reg.get("definitely-not-registered")
+        msg = str(exc.value)
+        assert f"unknown {kind}" in msg
+        assert "definitely-not-registered" in msg
+        for name in reg.available():
+            assert name in msg
+
+    def test_get_with_default_does_not_raise(self):
+        assert BACKENDS.get("definitely-not-registered", None) is None
+
+    def test_getitem_keeps_mapping_semantics(self):
+        with pytest.raises(KeyError):
+            BACKENDS["definitely-not-registered"]
+
+
+class TestBackendOptions:
+    def test_unknown_option_names_backend_and_knobs(self):
+        with pytest.raises(ConfigError) as exc:
+            resolve_options("threaded", prefetch_dpeth=3)
+        msg = str(exc.value)
+        assert "'threaded'" in msg
+        assert "prefetch_dpeth" in msg
+        assert "prefetch_depth" in msg  # the fix is in the traceback
+
+    def test_build_backend_unknown_option_rejected_before_construction(
+            self, tiny_ds, small_cfg):
+        # No session needed: validation fires before the constructor.
+        with pytest.raises(ConfigError) as exc:
+            build_backend("threaded", None, timeout=1.0)
+        assert "'threaded'" in str(exc.value)
+        assert "timeout_s" in str(exc.value)
+
+    def test_wrong_options_class_rejected(self):
+        with pytest.raises(ConfigError) as exc:
+            resolve_options("process", ThreadedOptions(prefetch_depth=2))
+        assert "'process'" in str(exc.value)
+
+    def test_kwargs_layer_on_options_instance(self):
+        opts = resolve_options("threaded",
+                               ThreadedOptions(prefetch_depth=2),
+                               timeout_s=5.0)
+        assert opts.prefetch_depth == 2
+        assert opts.timeout_s == 5.0
+        assert opts.to_kwargs() == {"prefetch_depth": 2,
+                                    "timeout_s": 5.0}
+
+    def test_unset_knobs_defer_to_constructor(self):
+        assert resolve_options("threaded").to_kwargs() == {}
+
+    def test_registration_rejects_non_none_option_default(self):
+        @dataclasses.dataclass(frozen=True)
+        class BadOptions(BackendOptions):
+            knob: int = 7
+
+        class Bad(ExecutionBackend):
+            name = "bad-options"
+            options_cls = BadOptions
+
+            def __init__(self, session, knob=7):
+                super().__init__(session)
+
+            def run_epoch(self, max_iterations=None):
+                raise NotImplementedError
+
+        with pytest.raises(ConfigError) as exc:
+            validate_options_cls(Bad)
+        assert "knob" in str(exc.value)
+        assert "bad-options" not in BACKENDS
+
+    def test_registration_rejects_option_constructor_mismatch(self):
+        @dataclasses.dataclass(frozen=True)
+        class GhostOptions(BackendOptions):
+            ghost_knob: int | None = None
+
+        class Ghost(ExecutionBackend):
+            name = "ghost-options"
+            options_cls = GhostOptions
+
+            def __init__(self, session):
+                super().__init__(session)
+
+            def run_epoch(self, max_iterations=None):
+                raise NotImplementedError
+
+        with pytest.raises(ConfigError) as exc:
+            register_backend(Ghost)
+        assert "ghost_knob" in str(exc.value)
+        assert "ghost-options" not in BACKENDS
