@@ -60,7 +60,8 @@ def _smoke(backend: str):
 
     The virtual backend sweeps a shortened timing simulation; live
     backends (threaded, process, process_sampling, pipelined,
-    process_pipelined) run the same four preset sessions functionally —
+    process_pipelined, sharded) run the same four preset sessions
+    functionally —
     threads behind the GIL, worker processes over the shared-memory
     feature store (sampling in the parent or, for ``process_sampling``
     and ``process_pipelined``, in the workers), the overlapped
@@ -84,7 +85,7 @@ if __name__ == "__main__":
     parser.add_argument("--backend",
                         choices=("virtual", "threaded", "process",
                                  "process_sampling", "pipelined",
-                                 "process_pipelined"),
+                                 "process_pipelined", "sharded"),
                         default="virtual",
                         help="execution backend the presets run on")
     parser.add_argument("--smoke", action="store_true",

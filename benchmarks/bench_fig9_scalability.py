@@ -75,14 +75,16 @@ if __name__ == "__main__":
     parser.add_argument("--backend",
                         choices=("virtual", "threaded", "process",
                                  "process_sampling", "pipelined",
-                                 "process_pipelined"),
+                                 "process_pipelined", "sharded"),
                         default="virtual",
                         help="'virtual' prints the perf-model "
                              "projection; live backends measure "
                              "wall time ('process_sampling' samples "
                              "worker-side; 'pipelined' and "
                              "'process_pipelined' add the per-stage "
-                             "overlap report)")
+                             "overlap report; 'sharded' partitions "
+                             "the graph and reports the shard io "
+                             "column)")
     parser.add_argument("--trainers", type=int, nargs="+",
                         default=(1, 2, 4),
                         help="trainer replica counts for live sweeps")

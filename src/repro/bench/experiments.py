@@ -26,7 +26,7 @@ from ..baselines import (
     PaGraphSystem,
     PyGMultiGPUBaseline,
 )
-from ..kernels import format_traffic
+from ..kernels import format_shard_io, format_traffic
 from ..runtime.hybrid import HyScaleGNN
 from ..runtime.resctl import summarize_calibration
 from .harness import ExperimentResult, geomean
@@ -271,7 +271,7 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
               f"{iterations} iterations/point)",
         columns=["model", "trainers", "wall time (s)",
                  f"speedup vs {anchor}", "mean loss", "overlap",
-                 "kernel io", "calib"])
+                 "kernel io", "shard io", "calib"])
     total_targets = overrides["minibatch_size"]
     for model in MODELS:
         base_time = None
@@ -302,6 +302,9 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
                         format_traffic(
                             getattr(rep, "kernel_stats", {}),
                             iterations),
+                        format_shard_io(
+                            getattr(rep, "kernel_stats", {}),
+                            iterations),
                         summarize_calibration(
                             getattr(rep, "calibration", {})))
     res.notes.append(
@@ -314,7 +317,10 @@ def run_wallclock_scalability(trainer_counts=(1, 2, 4),
         "overlap (overlap column: adaptive depth range | per-stage "
         "items, buffer high-water, mean occupancy; kernel io column: "
         "per-iteration gather/payload traffic + buffer-pool hit rate "
-        "from the kernel registry counters; calib column: per-stage "
+        "from the kernel registry counters; shard io column: local "
+        "vs remote gather traffic + remote-cache hit rate of the "
+        "sharded plane, '-' on single-node backends; calib column: "
+        "per-stage "
         "model-vs-realized calibration error once the fused plane's "
         "online estimator warms, '-' otherwise)")
     return res

@@ -20,6 +20,7 @@ from .datasets import (
     load_dataset,
 )
 from .partition import bfs_partition, hash_partition, partition_quality
+from .shard_map import ShardMap
 from .validate import check_graph
 
 __all__ = [
@@ -36,5 +37,6 @@ __all__ = [
     "bfs_partition",
     "hash_partition",
     "partition_quality",
+    "ShardMap",
     "check_graph",
 ]

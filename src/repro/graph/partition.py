@@ -46,18 +46,23 @@ def bfs_partition(graph: CSRGraph, num_parts: int,
     claiming unvisited neighbors until its size budget is met. Produces far
     lower edge cut than hashing on graphs with community structure — a cheap
     stand-in for METIS (which is not available offline).
+
+    ``num_parts`` may exceed ``graph.num_vertices``: only the first
+    ``min(num_parts, n)`` regions get a seed vertex and the surplus
+    partitions stay empty — a legal (empty-shard) assignment downstream
+    consumers like :class:`~repro.graph.shard_map.ShardMap` must
+    represent, not an error. Every partition size stays within the
+    ``ceil(n / num_parts)`` budget.
     """
     if num_parts <= 0:
         raise GraphError("num_parts must be positive")
     n = graph.num_vertices
-    if num_parts > n:
-        raise GraphError("more partitions than vertices")
     rng = np.random.default_rng(seed)
     parts = np.full(n, -1, dtype=np.int64)
     budget = -(-n // num_parts)  # ceil
     sizes = np.zeros(num_parts, dtype=np.int64)
 
-    seeds = rng.choice(n, size=num_parts, replace=False)
+    seeds = rng.choice(n, size=min(num_parts, n), replace=False)
     frontiers: list[np.ndarray] = []
     for p, s in enumerate(seeds):
         parts[s] = p
@@ -68,7 +73,7 @@ def bfs_partition(graph: CSRGraph, num_parts: int,
     active = True
     while active:
         active = False
-        for p in range(num_parts):
+        for p in range(len(frontiers)):
             if sizes[p] >= budget or frontiers[p].size == 0:
                 continue
             # All unvisited out-neighbors of the current frontier.

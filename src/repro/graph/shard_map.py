@@ -1,0 +1,153 @@
+"""Global ↔ shard-local index translation for partitioned feature stores.
+
+The sharded training plane (:mod:`repro.runtime.backends.sharded`) lays
+the feature matrix out in **shard-major order**: shard ``k``'s rows form
+one contiguous slice, so a worker's local gathers hit its own slice and
+every other row is a *remote* fetch it must be charged for — the
+local/remote accounting DistDGL's distributed sampling example keeps
+per minibatch. This module owns the index arithmetic that makes that
+split checkable:
+
+* :class:`ShardMap` — a frozen view of one vertex partition: the
+  global→(shard, local-row) translation, the shard-major permutation
+  (``order`` / ``shard_row`` / ``offsets``) the shared-memory store
+  lays features out with, and per-shard halo sets (the remote vertices
+  a shard's sampled batches will touch — the admission candidates of
+  the :class:`~repro.runtime.remote_cache.RemoteFeatureCache`).
+
+Empty shards are legal throughout: a partition map produced with
+``num_parts > num_vertices`` (see :func:`~repro.graph.partition.bfs_partition`)
+simply yields zero-width slices, which downstream consumers (the shm
+layout, the sharded dealer) must handle, not crash on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """One vertex partition, indexed both ways.
+
+    Attributes
+    ----------
+    parts:
+        ``(num_vertices,)`` shard id per global vertex id.
+    num_shards:
+        Total shard count — may exceed ``parts.max() + 1`` (trailing
+        empty shards are representable).
+    order:
+        ``(num_vertices,)`` global ids in shard-major order (shard 0's
+        vertices first, ascending global id within a shard) — the row
+        order a shard-sliced feature matrix is stored in.
+    shard_row:
+        ``(num_vertices,)`` inverse of ``order``: the shard-major row
+        holding each global id (``order[shard_row[g]] == g``).
+    offsets:
+        ``(num_shards + 1,)`` shard slice boundaries in shard-major
+        rows: shard ``k`` owns rows ``offsets[k]:offsets[k + 1]``.
+    """
+
+    parts: np.ndarray
+    num_shards: int
+    order: np.ndarray
+    shard_row: np.ndarray
+    offsets: np.ndarray
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_partition(cls, parts: np.ndarray,
+                       num_shards: int | None = None) -> "ShardMap":
+        """Build the two-way map from a partition assignment.
+
+        ``num_shards`` defaults to ``parts.max() + 1``; pass it
+        explicitly when trailing shards may be empty (their slices come
+        out zero-width, which is legal everywhere downstream).
+        """
+        parts = np.asarray(parts, dtype=np.int64)
+        if parts.ndim != 1:
+            raise GraphError("parts must be a 1-D assignment array")
+        n = parts.size
+        inferred = int(parts.max()) + 1 if n else 0
+        if num_shards is None:
+            num_shards = max(inferred, 1)
+        if num_shards < 1:
+            raise GraphError("num_shards must be positive")
+        if n and (parts.min() < 0 or inferred > num_shards):
+            raise GraphError(
+                f"partition ids must lie in [0, {num_shards})")
+        order = np.argsort(parts, kind="stable").astype(np.int64)
+        shard_row = np.empty(n, dtype=np.int64)
+        shard_row[order] = np.arange(n, dtype=np.int64)
+        sizes = np.bincount(parts, minlength=num_shards)
+        offsets = np.concatenate((
+            np.zeros(1, dtype=np.int64),
+            np.cumsum(sizes, dtype=np.int64)))
+        return cls(parts=parts, num_shards=int(num_shards), order=order,
+                   shard_row=shard_row, offsets=offsets)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return int(self.parts.size)
+
+    def shard_sizes(self) -> np.ndarray:
+        """``(num_shards,)`` owned-vertex count per shard."""
+        return np.diff(self.offsets)
+
+    def owned(self, shard: int) -> np.ndarray:
+        """Global ids shard ``shard`` owns, in shard-local row order."""
+        self._check_shard(shard)
+        return self.order[self.offsets[shard]:self.offsets[shard + 1]]
+
+    def locate(self, ids: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Translate global ids to ``(shard, local_row)`` pairs.
+
+        ``local_row`` is the position inside the owning shard's slice —
+        the index a per-shard feature buffer would be addressed with.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        shard = self.parts[ids]
+        local = self.shard_row[ids] - self.offsets[shard]
+        return shard, local
+
+    def to_global(self, shard: np.ndarray,
+                  local_row: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`locate`."""
+        shard = np.asarray(shard, dtype=np.int64)
+        local_row = np.asarray(local_row, dtype=np.int64)
+        return self.order[self.offsets[shard] + local_row]
+
+    def halo(self, graph: CSRGraph, shard: int) -> np.ndarray:
+        """Remote vertices shard ``shard``'s batches can touch.
+
+        The unique out-neighbors of the shard's owned vertices that live
+        on *other* shards — the vertices whose features a worker must
+        fetch across the (simulated) interconnect, and therefore the
+        admission candidates of its remote-feature cache. Sorted global
+        ids; empty for an empty shard.
+        """
+        own = self.owned(shard)
+        if own.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        starts = graph.indptr[own]
+        ends = graph.indptr[own + 1]
+        if int((ends - starts).sum()) == 0:
+            return np.zeros(0, dtype=np.int64)
+        neigh = np.concatenate(
+            [graph.indices[s:e] for s, e in zip(starts, ends)])
+        cand = np.unique(neigh)
+        return cand[self.parts[cand] != shard]
+
+    # ------------------------------------------------------------------
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise GraphError(
+                f"shard {shard} out of range [0, {self.num_shards})")

@@ -52,6 +52,7 @@ from .pool import BufferPool
 from .stats import (
     COUNTERS,
     KernelCounters,
+    format_shard_io,
     format_traffic,
     merge_counts,
     record,
@@ -345,5 +346,6 @@ __all__ = [
     "record",
     "scoped_counters",
     "format_traffic",
+    "format_shard_io",
     "merge_counts",
 ]

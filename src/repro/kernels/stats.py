@@ -112,6 +112,29 @@ def format_traffic(counts: dict[str, int], iterations: int = 1) -> str:
     return " | ".join(parts)
 
 
+def format_shard_io(counts: dict[str, int], iterations: int = 1) -> str:
+    """One-line per-iteration shard-interconnect summary.
+
+    Renders the local vs. remote feature-gather traffic of a sharded
+    run (``shard_local_bytes`` / ``shard_remote_bytes`` — the bytes a
+    multi-node deployment would keep on-node vs. send over the network)
+    and the remote-feature-cache hit rate. ``"-"`` when the counters
+    carry no shard keys (every non-sharded backend).
+    """
+    local = counts.get("shard_local_bytes", 0)
+    remote = counts.get("shard_remote_bytes", 0)
+    if not local and not remote:
+        return "-"
+    iters = max(int(iterations), 1)
+    parts = [f"local {local / iters / 1e6:.2f} MB/it",
+             f"remote {remote / iters / 1e6:.2f} MB/it"]
+    hits = counts.get("remote_cache_hits", 0)
+    misses = counts.get("remote_cache_misses", 0)
+    if hits or misses:
+        parts.append(f"cache {hits}/{hits + misses} hits")
+    return " | ".join(parts)
+
+
 #: The process-wide accumulator every kernel dispatch reports into.
 COUNTERS = KernelCounters()
 

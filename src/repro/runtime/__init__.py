@@ -89,6 +89,8 @@ from .backends import (
     ProcessPipelinedBackend,
     ProcessPoolBackend,
     ProcessSamplingBackend,
+    ShardedBackend,
+    ShardedReport,
     ThreadedBackend,
     VirtualTimeBackend,
     available_backends,
@@ -150,6 +152,8 @@ __all__ = [
     "ProcessSamplingBackend",
     "PipelinedBackend",
     "ProcessPipelinedBackend",
+    "ShardedBackend",
+    "ShardedReport",
     "ProcessReport",
     "ProcessSamplingReport",
     "PipelinedReport",

@@ -2,7 +2,7 @@
 
 A backend realizes the training protocol of a
 :class:`~repro.runtime.core.TrainingSession` on a concrete execution
-substrate. Six ship with the library:
+substrate. Seven ship with the library:
 
 * ``"virtual"`` — :class:`VirtualTimeBackend`: sequential execution with
   modelled-hardware (virtual-time) accounting; the paper-figure plane.
@@ -29,6 +29,14 @@ substrate. Six ship with the library:
   transfer chain with train+sync on ``PrefetchBuffer``-backed stage
   threads over the shared store — process-level parallelism *and*
   per-worker stage overlap at once (paper §IV composed).
+* ``"sharded"`` — :class:`ShardedBackend`: the multi-node plane. The
+  graph is partitioned (``hash``/``bfs``) one shard per trainer; the
+  feature store is shard-sliced, the parent deals each shard only the
+  targets it owns, and every worker resolves feature rows as local
+  gather vs. **remote** gather (optionally through a degree-aware
+  :class:`~repro.runtime.remote_cache.RemoteFeatureCache`) with
+  per-minibatch byte accounting — DistDGL's distributed layout with
+  the interconnect accounted rather than physical.
 
 All consume the same :class:`~repro.runtime.core.BatchPlan` and session,
 so every feature flag — hybrid CPU+accelerator split, DRM, two-stage
@@ -58,6 +66,7 @@ from .options import (
     OverlapOptions,
     ProcessOptions,
     ProcessOverlapOptions,
+    ShardedOptions,
     ThreadedOptions,
     build_backend,
     resolve_options,
@@ -81,6 +90,7 @@ from .process_pipelined import (
     ProcessPipelinedBackend,
     ProcessPipelinedReport,
 )
+from .sharded import ShardedBackend, ShardedReport, ShardPlan
 
 #: name -> backend class. A :class:`~repro.registry.Registry` (the
 #: unified registry discipline), dict-compatible for legacy call sites;
@@ -124,6 +134,7 @@ register_backend(ProcessPoolBackend)
 register_backend(ProcessSamplingBackend)
 register_backend(PipelinedBackend)
 register_backend(ProcessPipelinedBackend)
+register_backend(ShardedBackend)
 
 __all__ = [
     "ExecutionBackend",
@@ -133,6 +144,7 @@ __all__ = [
     "ProcessOptions",
     "OverlapOptions",
     "ProcessOverlapOptions",
+    "ShardedOptions",
     "build_backend",
     "resolve_options",
     "VirtualTimeBackend",
@@ -141,12 +153,15 @@ __all__ = [
     "ProcessSamplingBackend",
     "PipelinedBackend",
     "ProcessPipelinedBackend",
+    "ShardedBackend",
     "EpochReport",
     "ExecutorReport",
     "ProcessReport",
     "ProcessSamplingReport",
     "PipelinedReport",
     "ProcessPipelinedReport",
+    "ShardedReport",
+    "ShardPlan",
     "LookaheadDealer",
     "StageStats",
     "adaptive_depth",

@@ -87,6 +87,18 @@ class ProcessOptions(LiveOptions):
 
 
 @dataclass(frozen=True)
+class ShardedOptions(ProcessOptions):
+    """The sharded (partition-mapped) plane's knobs."""
+
+    #: ``"hash"`` (random assignment) or ``"bfs"`` (locality-aware).
+    partitioner: str | None = None
+    #: Seed of the partitioner's RNG.
+    partition_seed: int | None = None
+    #: Per-worker remote-feature-cache capacity in rows (0 = off).
+    remote_cache_rows: int | None = None
+
+
+@dataclass(frozen=True)
 class OverlapOptions(LiveOptions):
     """Knobs of the overlapped (adaptive look-ahead) planes."""
 

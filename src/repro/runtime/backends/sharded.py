@@ -1,0 +1,492 @@
+"""Partition-mapped sharded training plane (multi-node, simulated).
+
+The worker-sampling plane (:mod:`.process_sampling`) parallelizes the
+sample stage but still treats the feature store as one flat address
+space: any worker gathers any row at host-memory cost. A multi-node
+deployment cannot — DistDGL (Zheng et al., "Distributed Hybrid CPU and
+GPU Training for GNNs on Billion-Scale Graphs") partitions the graph
+across machines, trains each partition's target vertices on the machine
+that owns them, and pays network cost for every feature row that lives
+on another partition. This backend reproduces that execution structure
+on one host, with the interconnect *accounted* rather than physical:
+
+* the graph is partitioned up front (``hash_partition`` — P3-style
+  random assignment, the worst case for locality — or
+  ``bfs_partition``, the METIS stand-in) into one shard per trainer
+  replica;
+* the :class:`~repro.runtime.shm.SharedFeatureStore` is **shard-
+  sliced**: features and labels are laid out in shard-major order
+  (per-shard contiguous slices + the
+  :class:`~repro.graph.shard_map.ShardMap` translation arrays travel
+  in the segment), so worker ``k``'s local gathers stay inside its own
+  slice and every other row is a remote fetch it must bill;
+* the parent deals each shard **only the targets it owns**:
+  :class:`ShardPlan` mirrors the shared
+  :class:`~repro.runtime.core.BatchPlan` epoch-for-epoch (same RNG
+  stream, same bookkeeping) but filters each epoch permutation by the
+  partition map and apportions every iteration's target budget across
+  shards proportionally to the work each has left (largest-remainder
+  rounding) — iteration counts, epoch coverage and per-iteration
+  budget conservation stay *exact*, which is what lets the statistical
+  conformance tier (plus its cross-node shard-partition assertion)
+  hold this plane to the same matrix as every other backend;
+* each worker resolves a minibatch's input rows three ways — local
+  slice, :class:`~repro.runtime.remote_cache.RemoteFeatureCache` hit
+  (a PaGraph-style static cache of its halo's hottest vertices), or
+  remote miss (read from the owning shard's slice, billed as remote
+  bytes) — and ships per-minibatch local/remote gather bytes with
+  every result (SNIPPETS' DistDGL accounting);
+* gradient sync stays the per-iteration all-reduce barrier via the
+  existing :class:`~repro.runtime.synchronizer.GradientSynchronizer`,
+  and DRM keeps being adjudicated in the parent per iteration — the
+  engine is reused per shard exactly as the single-node planes reuse
+  it per trainer.
+
+Per-run local/remote byte totals and the cache hit rate flow into
+``report.kernel_stats`` (``shard_local_bytes`` / ``shard_remote_bytes``
+/ ``remote_cache_*`` keys ride the existing ``kstats`` pipe round
+trip) and the wall-clock bench's ``shard io`` column; per-minibatch
+records land in :attr:`ShardedReport.shard_io`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ... import kernels
+from ...errors import ConfigError, ProtocolError, WorkerError
+from ...graph.partition import bfs_partition, hash_partition
+from ...graph.shard_map import ShardMap
+from ..core import PlannedIteration
+from ..stage_pipeline import apply_transfer_policy
+from .options import ShardedOptions
+from .process_pool import _run_worker, _WorkerReplica, _WorkerSpec
+from .process_sampling import (
+    ProcessSamplingBackend,
+    ProcessSamplingReport,
+)
+
+#: The partitioners a sharded backend can be constructed with.
+PARTITIONERS = {
+    "hash": hash_partition,
+    "bfs": bfs_partition,
+}
+
+
+# ---------------------------------------------------------------------------
+# Parent-side dealing
+# ---------------------------------------------------------------------------
+
+class ShardPlan:
+    """Partition-mapped dealing over the session's own epoch stream.
+
+    The shared :class:`~repro.runtime.core.BatchPlan` slices each epoch
+    permutation by a quota cursor, so a trainer's batch is an arbitrary
+    mix of vertices. A sharded plane must instead deal every target to
+    the shard that *owns* it, while preserving the plan's exact
+    arithmetic — the statistical tier asserts iteration count, epoch
+    coverage and per-iteration budget conservation with no tolerance.
+    This dealer threads that needle:
+
+    * each epoch draws **one** permutation from the session plan's own
+      RNG and increments its ``epochs_started`` — the sharded run
+      consumes the plan's stream exactly like every other backend, so
+      the kit's epoch bookkeeping holds unchanged;
+    * the permutation is filtered per shard by the partition map
+      (keeping permutation order within each shard: batch composition
+      stays a fresh draw every epoch);
+    * every iteration reads the live per-trainer quotas once (so DRM
+      moves keep applying next-iteration, like everywhere else), takes
+      their total ``T``, and apportions ``min(T, remaining)`` targets
+      across shards **proportionally to the work each shard has
+      left**, largest-remainder rounding, ties to the lower shard
+      index. Proportional apportionment is what makes unbalanced
+      partitions exhaust together: every iteration trains exactly
+      ``min(T, remaining)`` targets, so a full epoch takes exactly
+      ``ceil(train_size / T)`` iterations — the reference count.
+
+    Empty shards (legal for ``num_parts > num_vertices`` partitions)
+    simply receive ``None`` assignments and their trainers idle through
+    the run.
+    """
+
+    def __init__(self, plan, parts: np.ndarray,
+                 num_shards: int) -> None:
+        self.plan = plan
+        self.parts = np.asarray(parts, dtype=np.int64)
+        self.num_shards = int(num_shards)
+
+    # -- one epoch -----------------------------------------------------
+    def start_epoch(self) -> Iterator[PlannedIteration]:
+        """Yield one epoch of shard-owned :class:`PlannedIteration`.
+
+        Mirrors ``BatchPlan.start_epoch``: the permutation is drawn
+        eagerly off the *session plan's* RNG (one draw per epoch — the
+        stream stays in lock-step with every other backend) and the
+        plan's ``epochs_started`` advances, so full-epoch bookkeeping
+        assertions see an identical plan state.
+        """
+        plan = self.plan
+        epoch = plan.epochs_started
+        plan.epochs_started += 1
+        perm = plan.rng.permutation(plan.train_ids)
+        owned = [perm[self.parts[perm] == k]
+                 for k in range(self.num_shards)]
+        return self._iterate(epoch, owned)
+
+    def _iterate(self, epoch: int, owned: list[np.ndarray]
+                 ) -> Iterator[PlannedIteration]:
+        cursors = np.zeros(self.num_shards, dtype=np.int64)
+        sizes = np.array([o.size for o in owned], dtype=np.int64)
+        index = 0
+        while True:
+            remaining = sizes - cursors
+            total_left = int(remaining.sum())
+            if total_left == 0:
+                return
+            budget = sum(max(0, int(c))
+                         for c in self.plan.counts_fn())
+            take = min(budget, total_left)
+            if take <= 0:
+                return    # zero total quota: nobody can make progress
+            quotas = _apportion(take, remaining)
+            assignments: list[np.ndarray | None] = []
+            for k in range(self.num_shards):
+                q = int(quotas[k])
+                if q <= 0:
+                    assignments.append(None)
+                    continue
+                assignments.append(
+                    owned[k][cursors[k]:cursors[k] + q])
+                cursors[k] += q
+            yield PlannedIteration(epoch=epoch, index=index,
+                                   assignments=tuple(assignments))
+            index += 1
+
+    # -- many iterations -----------------------------------------------
+    def iterate(self, iterations: int
+                ) -> Iterator[tuple[int, PlannedIteration]]:
+        """Yield ``(global_iteration, planned)`` for exactly
+        ``iterations`` iterations, rolling into fresh epoch
+        permutations at epoch boundaries — the same numbering and
+        no-progress guard as ``BatchPlan.iterate``."""
+        produced = 0
+        while produced < iterations:
+            before = produced
+            for planned in self.start_epoch():
+                yield produced, planned
+                produced += 1
+                if produced >= iterations:
+                    return
+            if produced == before:
+                raise ProtocolError(
+                    "shard plan yielded no work for an epoch")
+
+
+def _apportion(take: int, remaining: np.ndarray) -> np.ndarray:
+    """Split ``take`` targets across shards ∝ work left.
+
+    Largest-remainder (Hamilton) apportionment over integer arithmetic:
+    ``quota_k = floor(take * remaining_k / R)`` plus one for the
+    largest fractional remainders until the total is ``take``. Because
+    ``take <= R = sum(remaining)``, every quota satisfies
+    ``quota_k <= remaining_k``; ties break to the lower shard index, so
+    dealing is deterministic.
+    """
+    remaining = remaining.astype(np.int64)
+    total = int(remaining.sum())
+    if take >= total:
+        return remaining.copy()
+    base = (take * remaining) // total
+    rem = take * remaining - base * total
+    leftover = take - int(base.sum())
+    if leftover > 0:
+        # argsort is stable, so equal remainders keep index order.
+        top = np.argsort(-rem, kind="stable")[:leftover]
+        base[top] += 1
+    return base
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+class _ShardedReplica(_WorkerReplica):
+    """One shard's trainer replica: the shard-sliced store mapping plus
+    the local/cache/remote gather resolver."""
+
+    def __init__(self, store, spec: _WorkerSpec) -> None:
+        super().__init__(store, spec)
+        from ..remote_cache import RemoteFeatureCache
+
+        self.shard = spec.index
+        smap = store.shard_map()
+        # Views into the segment (released before close, like
+        # features/labels); degrees is already a private copy.
+        self.parts = smap.parts
+        self.shard_row = smap.shard_row
+        shard_cfg = store.manifest.shard
+        self.cache = None
+        if shard_cfg.remote_cache_rows > 0:
+            halo = smap.halo(store.csr_graph(), self.shard)
+            cache = RemoteFeatureCache(shard_cfg.remote_cache_rows)
+            cache.admit(halo, self.degrees, self.features,
+                        rows_of=self.shard_row)
+            self.cache = cache
+        self._row_bytes = int(
+            self.features.dtype.itemsize
+            * int(np.prod(self.features.shape[1:], dtype=np.int64)))
+        self.last_io: dict[str, int] = {}
+
+    def train(self, spec: _WorkerSpec, mb):
+        """Resolve the batch's rows local/cache/remote, then the
+        session's exact widen + transfer policy and one
+        forward/backward.
+
+        The assembled source rows are bit-identical to a flat gather
+        (cache rows are copies of the same store rows), so the math
+        stays inside the statistical tier's tolerances exactly like the
+        other worker-sampling planes; only the *accounting* knows which
+        interconnect each row crossed.
+        """
+        t0 = time.perf_counter()
+        ids = np.asarray(mb.input_nodes, dtype=np.int64)
+        rows = self.shard_row[ids]
+        local_mask = self.parts[ids] == self.shard
+        local_idx = np.flatnonzero(local_mask)
+        remote_idx = np.flatnonzero(~local_mask)
+
+        src = np.empty((ids.size,) + self.features.shape[1:],
+                       dtype=self.features.dtype)
+        src[local_idx] = self.features[rows[local_idx]]
+        cache_hits = 0
+        if remote_idx.size:
+            if self.cache is not None:
+                hit_mask, hit_rows = self.cache.lookup(ids[remote_idx])
+                src[remote_idx[hit_mask]] = hit_rows
+                miss_idx = remote_idx[~hit_mask]
+                cache_hits = int(hit_mask.sum())
+            else:
+                miss_idx = remote_idx
+            # The remote fetch: rows read out of *other shards'*
+            # slices — on a real deployment this is the network RPC;
+            # here it is the same segment, but billed as remote.
+            src[miss_idx] = self.features[rows[miss_idx]]
+        remote_rows = int(remote_idx.size - cache_hits)
+        io = {
+            "local_rows": int(local_idx.size),
+            "remote_rows": remote_rows,
+            "cache_hits": cache_hits,
+            "local_bytes": int(local_idx.size) * self._row_bytes,
+            "remote_bytes": remote_rows * self._row_bytes,
+        }
+        self.last_io = io
+        x0 = apply_transfer_policy(src.astype(np.float64), spec.kind,
+                                   spec.transfer_precision)
+        # Shard-io keys plus the standard gather keys the "kernel io"
+        # bench column reads — this resolver replaces the registry's
+        # gather dispatch, so it must keep the same books.
+        kernels.record(
+            shard_local_bytes=io["local_bytes"],
+            shard_remote_bytes=io["remote_bytes"],
+            shard_local_rows=io["local_rows"],
+            shard_remote_rows=io["remote_rows"],
+            remote_cache_hits=cache_hits,
+            remote_cache_misses=remote_rows,
+            gather_calls=1, gather_rows=ids.size,
+            gather_src_bytes=src.nbytes, gather_out_bytes=x0.nbytes)
+        self.note_stage("load", time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        labels = self.labels[self.shard_row[np.asarray(
+            mb.targets, dtype=np.int64)]]
+        rep = self.node.train_minibatch(mb, x0, labels, self.degrees)
+        self.note_stage("train", time.perf_counter() - t0)
+        return rep
+
+    def release_views(self) -> None:
+        self.parts = self.shard_row = None
+        super().release_views()
+
+
+def _train_shard_targets(replica: _ShardedReplica, spec: _WorkerSpec,
+                         msg):
+    """Handle one owned-target shard: sample locally, resolve rows
+    local/cache/remote, train, and ship the io record with the
+    result."""
+    _, it, targets = msg
+    t0 = time.perf_counter()
+    mb = replica.sampler.sample(targets)
+    replica.note_stage("sample", time.perf_counter() - t0)
+    rep = replica.train(spec, mb)
+    return ("result", it, rep.loss, rep.accuracy, mb.stats(),
+            np.asarray(mb.targets), replica.model.get_flat_grads(),
+            dict(replica.last_stage_s), dict(replica.last_io))
+
+
+def _setup_sharded(store, spec: _WorkerSpec):
+    from ...sampling import build_worker_sampler
+    replica = _ShardedReplica(store, spec)
+    replica.sampler = build_worker_sampler(store, spec.index)
+    return replica, _train_shard_targets
+
+
+def _worker_main(conn, manifest, spec: _WorkerSpec) -> None:
+    """One shard replica (module-level: picklable under ``spawn``)."""
+    _run_worker(conn, manifest, spec, _setup_sharded)
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShardedReport(ProcessSamplingReport):
+    """A :class:`ProcessSamplingReport` plus the partition evidence and
+    the interconnect accounting the sharded plane owes its tier.
+
+    ``shard_parts`` is the partition map the run trained under — the
+    conformance kit's cross-node assertion keys off it: every target a
+    worker echoed must be owned by that worker's shard.
+    ``shard_io`` holds one record per (iteration, worker) minibatch:
+    ``{iteration, worker, local_rows, remote_rows, cache_hits,
+    local_bytes, remote_bytes}``. The aggregate properties below read
+    the same totals off ``kernel_stats`` (the workers' counter deltas),
+    so per-minibatch records and per-run totals are independently
+    sourced and cross-checkable.
+    """
+
+    shard_parts: np.ndarray | None = None
+    shard_io: list[dict] = field(default_factory=list)
+
+    @property
+    def local_gather_bytes(self) -> int:
+        return int(self.kernel_stats.get("shard_local_bytes", 0))
+
+    @property
+    def remote_gather_bytes(self) -> int:
+        return int(self.kernel_stats.get("shard_remote_bytes", 0))
+
+    @property
+    def remote_cache_hit_rate(self) -> float:
+        hits = self.kernel_stats.get("remote_cache_hits", 0)
+        misses = self.kernel_stats.get("remote_cache_misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Parent-side backend
+# ---------------------------------------------------------------------------
+
+class ShardedBackend(ProcessSamplingBackend):
+    """Worker-replica sessions over per-shard slices of the store.
+
+    Parameters
+    ----------
+    session:
+        The shared runtime core; one worker process *and one graph
+        shard* per trainer replica.
+    timeout_s / mp_context:
+        As on every process plane.
+    partitioner:
+        ``"hash"`` (random assignment — P3-style, worst-case locality)
+        or ``"bfs"`` (locality-aware region growing, the METIS
+        stand-in; the default).
+    partition_seed:
+        Seed of the partitioner's RNG — partition maps are
+        deterministic per (graph, partitioner, seed).
+    remote_cache_rows:
+        Per-worker :class:`~repro.runtime.remote_cache.RemoteFeatureCache`
+        capacity in feature rows; ``0`` (default) disables the cache —
+        every remote row is billed at full interconnect cost.
+    """
+
+    name = "sharded"
+    conformance_tier = "statistical"
+    options_cls = ShardedOptions
+    overlaps_transfer = False
+
+    def __init__(self, session, timeout_s: float = 120.0,
+                 mp_context: str | None = None,
+                 partitioner: str = "bfs",
+                 partition_seed: int = 0,
+                 remote_cache_rows: int = 0) -> None:
+        super().__init__(session, timeout_s=timeout_s,
+                         mp_context=mp_context)
+        if partitioner not in PARTITIONERS:
+            raise ConfigError(
+                f"unknown partitioner {partitioner!r}; expected one of "
+                f"{sorted(PARTITIONERS)}")
+        if remote_cache_rows < 0:
+            raise ConfigError("remote_cache_rows must be non-negative")
+        self.partitioner = partitioner
+        self.partition_seed = int(partition_seed)
+        self.remote_cache_rows = int(remote_cache_rows)
+        parts = PARTITIONERS[partitioner](
+            session.dataset.graph, session.num_trainers,
+            seed=self.partition_seed)
+        self.shard_map = ShardMap.from_partition(
+            parts, num_shards=session.num_trainers)
+        self.shard_plan = ShardPlan(session.plan, parts,
+                                    session.num_trainers)
+
+    # -- subclass hooks ------------------------------------------------
+    def _worker_entry(self):
+        return _worker_main
+
+    def _create_store(self):
+        from ..shm import SharedFeatureStore, SharedShardSpec
+        return SharedFeatureStore.create(
+            self.session.dataset,
+            sampler_spec=self.session.shared_sampler_spec(),
+            shard_map=self.shard_map,
+            shard_spec=SharedShardSpec(
+                num_shards=self.shard_map.num_shards,
+                partitioner=self.partitioner,
+                partition_seed=self.partition_seed,
+                remote_cache_rows=self.remote_cache_rows))
+
+    def _make_report(self, iterations: int, n: int) -> ShardedReport:
+        return ShardedReport(iterations=iterations, num_workers=n,
+                             worker_targets=[[] for _ in range(n)],
+                             shard_parts=self.shard_map.parts)
+
+    def _drive(self, iterations: int, conns, report, rows) -> None:
+        """Drive the loop off the partition-mapped dealer instead of
+        the quota-cursor plan — everything downstream (dispatch,
+        collect, the shared sync tail, DRM adjudication) is inherited
+        unchanged."""
+        for it, planned in self.shard_plan.iterate(iterations):
+            self._run_iteration(it, planned, conns, report, rows)
+
+    def _collect(self, it: int, busy, conns, report, stats_by_idx,
+                 losses, accs) -> None:
+        """The worker-sampling collect plus the per-minibatch shard-io
+        record every result now carries."""
+        from ..protocol import Signal
+
+        s = self.session
+        self._iter_stage_s: dict[int, dict] = {}
+        for idx in busy:
+            msg = self._recv(conns, idx)
+            tag, rit, loss, acc, st, echoed, grads, stage_s, io = msg
+            if tag != "result" or rit != it:
+                raise WorkerError(
+                    f"worker {idx} answered {tag!r} for iteration "
+                    f"{rit}, expected result for {it}")
+            s.trainers[idx].model.set_flat_grads(grads)
+            stats_by_idx[idx] = st
+            self._iter_stage_s[idx] = stage_s
+            report.total_edges += st.total_edges
+            report.worker_targets[idx].append(echoed)
+            report.shard_io.append(
+                {"iteration": it, "worker": idx, **io})
+            losses.append(loss)
+            accs.append(acc)
+            report.protocol_log.record(it, Signal.DONE,
+                                       s.trainers[idx].name)

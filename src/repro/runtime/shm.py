@@ -84,6 +84,29 @@ class SharedSamplerSpec:
 
 
 @dataclass(frozen=True)
+class SharedShardSpec:
+    """Partition metadata of a shard-sliced store (picklable).
+
+    When the creating backend trains over a vertex partition (the
+    sharded plane), ``features`` and ``labels`` are stored in
+    **shard-major row order**: shard ``k``'s rows form one contiguous
+    slice, so a worker's local gathers stay inside its own slice and
+    any other row is a remote fetch it must account for. The
+    translation arrays travel in the segment itself (``parts``,
+    ``shard_row``, ``shard_order``, ``shard_offsets`` — see
+    :class:`~repro.graph.shard_map.ShardMap`); this spec carries what
+    a worker cannot derive from them: the shard count (trailing empty
+    shards are representable), how the map was produced, and the
+    per-worker remote-cache capacity.
+    """
+
+    num_shards: int
+    partitioner: str | None = None
+    partition_seed: int | None = None
+    remote_cache_rows: int = 0
+
+
+@dataclass(frozen=True)
 class SharedPrefetchSpec:
     """Worker-local pipeline parameters for overlapped process planes
     (picklable).
@@ -114,12 +137,17 @@ class SharedStoreManifest:
     ``indices`` / ``train_ids``). ``prefetch`` is optional worker-local
     pipeline state: overlapped process planes carry a
     :class:`SharedPrefetchSpec` sizing each worker's stage buffers.
+    ``shard`` is optional partition state: a shard-sliced store (the
+    sharded plane) carries a :class:`SharedShardSpec` and stores
+    features/labels in shard-major order alongside the translation
+    arrays.
     """
 
     segment: str
     arrays: tuple[SharedArraySpec, ...]
     sampler: SharedSamplerSpec | None = None
     prefetch: SharedPrefetchSpec | None = None
+    shard: SharedShardSpec | None = None
 
     @property
     def total_bytes(self) -> int:
@@ -159,7 +187,9 @@ class SharedFeatureStore:
     @classmethod
     def create(cls, dataset,
                sampler_spec: SharedSamplerSpec | None = None,
-               prefetch_spec: SharedPrefetchSpec | None = None
+               prefetch_spec: SharedPrefetchSpec | None = None,
+               shard_map=None,
+               shard_spec: SharedShardSpec | None = None
                ) -> "SharedFeatureStore":
         """Copy ``dataset``'s big arrays into a fresh shared segment.
 
@@ -170,14 +200,46 @@ class SharedFeatureStore:
         sampler family locally, without touching the parent's address
         space. A ``prefetch_spec`` additionally sizes the worker-local
         stage buffers of overlapped process planes.
+
+        With a ``shard_map`` (:class:`~repro.graph.shard_map.ShardMap`)
+        the store becomes **shard-sliced**: features and labels are
+        written in shard-major row order (shard ``k``'s rows form the
+        contiguous slice ``offsets[k]:offsets[k+1]``) and the
+        translation arrays (``parts``, ``shard_row``, ``shard_order``,
+        ``shard_offsets``) travel in the segment; the CSR topology and
+        ``train_ids`` stay globally indexed (the sampler and the
+        models' degree terms speak global ids). ``shard_spec`` is the
+        accompanying :class:`SharedShardSpec` metadata (defaults to a
+        bare spec naming only the shard count).
         """
+        features = np.ascontiguousarray(dataset.features)
+        labels = np.ascontiguousarray(dataset.labels)
         arrays = {
-            "features": np.ascontiguousarray(dataset.features),
-            "labels": np.ascontiguousarray(dataset.labels),
+            "features": features,
+            "labels": labels,
             "indptr": np.ascontiguousarray(dataset.graph.indptr),
             "indices": np.ascontiguousarray(dataset.graph.indices),
             "train_ids": np.ascontiguousarray(dataset.train_ids),
         }
+        if shard_map is not None:
+            arrays["features"] = np.ascontiguousarray(
+                features[shard_map.order])
+            arrays["labels"] = np.ascontiguousarray(
+                labels[shard_map.order])
+            arrays["parts"] = np.ascontiguousarray(shard_map.parts)
+            arrays["shard_row"] = np.ascontiguousarray(
+                shard_map.shard_row)
+            arrays["shard_order"] = np.ascontiguousarray(
+                shard_map.order)
+            arrays["shard_offsets"] = np.ascontiguousarray(
+                shard_map.offsets)
+            if shard_spec is None:
+                shard_spec = SharedShardSpec(
+                    num_shards=shard_map.num_shards)
+        elif shard_spec is not None:
+            raise ProtocolError(
+                "shard_spec without a shard_map: the store cannot "
+                "slice features it has no partition for")
         specs: list[SharedArraySpec] = []
         offset = 0
         for key, arr in arrays.items():
@@ -192,7 +254,8 @@ class SharedFeatureStore:
         manifest = SharedStoreManifest(segment=shm.name,
                                        arrays=tuple(specs),
                                        sampler=sampler_spec,
-                                       prefetch=prefetch_spec)
+                                       prefetch=prefetch_spec,
+                                       shard=shard_spec)
         store = cls(shm, manifest, owner=True)
         for spec in specs:
             store._views[spec.key][...] = arrays[spec.key]
@@ -231,6 +294,25 @@ class SharedFeatureStore:
     @property
     def train_ids(self) -> np.ndarray:
         return self._view("train_ids")
+
+    @property
+    def is_sharded(self) -> bool:
+        """Whether this store was created with a shard layout."""
+        return self.manifest.shard is not None
+
+    def shard_map(self):
+        """The store's :class:`~repro.graph.shard_map.ShardMap`,
+        rebuilt zero-copy from the segment's translation arrays
+        (worker side). The returned map's arrays view the segment —
+        drop it before :meth:`close`, like any other view."""
+        from ..graph.shard_map import ShardMap
+        if not self.is_sharded:
+            raise ProtocolError("store was created without a shard map")
+        return ShardMap(parts=self._view("parts"),
+                        num_shards=self.manifest.shard.num_shards,
+                        order=self._view("shard_order"),
+                        shard_row=self._view("shard_row"),
+                        offsets=self._view("shard_offsets"))
 
     @property
     def degrees(self) -> np.ndarray:

@@ -87,6 +87,7 @@ BACKEND_KWARGS: dict[str, dict] = {
     "process_sampling": {"timeout_s": 120.0},
     "pipelined": {"timeout_s": 30.0},
     "process_pipelined": {"timeout_s": 120.0},
+    "sharded": {"timeout_s": 120.0},
 }
 
 #: Tolerances of the statistical tier. Overlapped backends train the
@@ -348,6 +349,29 @@ def assert_statistical_conformance(name, case, ref_session, ref,
             np.sort(union), np.sort(np.concatenate(trained)),
             err_msg=f"{name}: worker shards do not partition the "
                     "dispatched targets")
+
+    # Cross-node shard ownership: a backend that trains over a vertex
+    # partition (``shard_parts`` on its report — the sharded plane, or
+    # any third-party multi-node backend) must have dealt every target
+    # to the worker that owns it. Together with the disjointness/union
+    # checks above this is the distributed-training contract: the
+    # per-shard trained sets partition each epoch's target set along
+    # the partition map.
+    shard_parts = getattr(cand, "shard_parts", None)
+    if shard_parts is not None:
+        assert worker_targets is not None, \
+            (f"{name} exposes shard_parts without worker_targets; the "
+             "kit cannot audit shard ownership")
+        shard_parts = np.asarray(shard_parts)
+        for widx, ts in enumerate(worker_targets):
+            if not ts:
+                continue
+            ids = np.concatenate(ts)
+            owners = np.unique(shard_parts[ids])
+            assert owners.size <= 1 and \
+                (owners.size == 0 or owners[0] == widx), \
+                (f"{name}: worker {widx} trained targets owned by "
+                 f"shards {owners.tolist()}")
 
     if ref_session.has_timing:
         assert len(cand.split_history) == cand.iterations

@@ -36,6 +36,7 @@ from repro.runtime import (
     ProcessPipelinedBackend,
     ProcessPoolBackend,
     ProcessSamplingBackend,
+    ShardedBackend,
     ThreadedBackend,
     ThreadedExecutor,
     TrainingSession,
@@ -747,7 +748,7 @@ class TestBackendRegistry:
     def test_builtin_backends_registered(self):
         assert available_backends() == ("pipelined", "process",
                                         "process_pipelined",
-                                        "process_sampling",
+                                        "process_sampling", "sharded",
                                         "threaded", "virtual")
         assert get_backend("virtual") is VirtualTimeBackend
         assert get_backend("threaded") is ThreadedBackend
@@ -756,6 +757,7 @@ class TestBackendRegistry:
         assert get_backend("pipelined") is PipelinedBackend
         assert get_backend("process_pipelined") is \
             ProcessPipelinedBackend
+        assert get_backend("sharded") is ShardedBackend
 
     def test_declared_conformance_tiers(self):
         """Lock-step backends are strict; the out-of-lock-step planes
@@ -767,6 +769,7 @@ class TestBackendRegistry:
         assert backend_tier("pipelined") == "statistical"
         assert backend_tier("process_sampling") == "statistical"
         assert backend_tier("process_pipelined") == "statistical"
+        assert backend_tier("sharded") == "statistical"
 
     def test_unknown_tier_rejected(self):
         """A backend declaring a bogus tier fails loudly in the kit,

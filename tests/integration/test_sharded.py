@@ -1,0 +1,213 @@
+"""The sharded plane's own conformance sweep and interconnect audit.
+
+``test_backend_equivalence.py`` already conforms ``sharded`` under its
+default knobs (bfs partition, no cache) across every conformance case —
+the kit reads the live registry. This module adds what the multi-node
+plane specifically owes:
+
+* the statistical matrix (including the kit's cross-node shard
+  assertion) under **both** partition maps and with the remote cache
+  on — partition-mapped dealing must conform however the partition
+  looks;
+* the dealer's apportionment arithmetic in isolation, including the
+  empty-shard edge a ``num_parts > num_vertices``-style map produces;
+* the interconnect accounting: per-minibatch local/remote gather bytes
+  in :attr:`ShardedReport.shard_io` that reconcile exactly with the
+  run-total counters in ``report.kernel_stats``, and the locality
+  pin — on a clustered (power-law) graph, bfs partitioning plus a
+  degree-aware remote cache must move strictly fewer remote bytes
+  than hash partitioning with no cache (the regression pin on the
+  whole reason this plane exists).
+"""
+
+import numpy as np
+import pytest
+
+from backend_conformance import (
+    CONFORMANCE_CASES,
+    assert_backend_conforms,
+    run_backend,
+)
+from repro.errors import ConfigError, ProtocolError
+from repro.graph.shard_map import ShardMap
+from repro.kernels import format_shard_io
+from repro.runtime import ShardedBackend, TrainingSession
+from repro.runtime.backends.sharded import ShardPlan, _apportion
+from repro.runtime.core import BatchPlan
+from repro.runtime.shm import SharedFeatureStore, SharedShardSpec
+
+_CASE_IDS = [c.id for c in CONFORMANCE_CASES]
+
+#: The knob sweep: worst-case-locality hash map without a cache, and
+#: the locality-aware map with the degree-aware cache on.
+_SWEEP = (
+    {"partitioner": "hash", "remote_cache_rows": 0},
+    {"partitioner": "bfs", "remote_cache_rows": 64},
+)
+_SWEEP_IDS = ["hash-nocache", "bfs-cache"]
+
+
+class TestShardedConformance:
+    @pytest.mark.parametrize("knobs", _SWEEP, ids=_SWEEP_IDS)
+    @pytest.mark.parametrize("case", CONFORMANCE_CASES, ids=_CASE_IDS)
+    def test_conforms_under_both_partition_maps(self, case, knobs,
+                                                tiny_ds):
+        assert_backend_conforms("sharded", case, tiny_ds,
+                                extra_kwargs=knobs)
+
+    def test_rejects_bad_knobs(self, tiny_ds, small_cfg):
+        from repro.config import SystemConfig
+        session = TrainingSession(
+            tiny_ds, small_cfg, SystemConfig(hybrid=True, drm=False),
+            num_trainers=2)
+        with pytest.raises(ConfigError):
+            ShardedBackend(session, partitioner="metis")
+        with pytest.raises(ConfigError):
+            ShardedBackend(session, remote_cache_rows=-1)
+
+
+class TestShardPlan:
+    def _plan(self, n, counts, seed=0):
+        rng = np.random.default_rng(seed)
+        return BatchPlan(np.arange(n, dtype=np.int64),
+                         lambda: counts, rng)
+
+    def test_matches_reference_iteration_arithmetic(self):
+        """The partition-mapped dealer must take exactly the reference
+        plan's per-iteration budget off an unbalanced partition, so a
+        full epoch lasts exactly ``ceil(train / total)`` iterations."""
+        n, counts = 100, [16, 16]
+        parts = np.zeros(n, dtype=np.int64)
+        parts[70:] = 1                    # 70/30 split, budget 16+16
+        plan = self._plan(n, counts)
+        sharded = ShardPlan(plan, parts, 2)
+        seen = []
+        for it, planned in sharded.iterate(-(-n // sum(counts))):
+            assert planned.total_targets == min(
+                sum(counts), n - len(seen))
+            for k, a in enumerate(planned.assignments):
+                if a is not None:
+                    assert (parts[a] == k).all()
+                    seen.extend(a.tolist())
+        assert sorted(seen) == list(range(n))
+        assert plan.epochs_started == 1
+
+    def test_empty_shard_gets_none_assignments(self):
+        parts = np.zeros(10, dtype=np.int64)   # shard 1 owns nothing
+        plan = self._plan(10, [4, 4])
+        sharded = ShardPlan(plan, parts, 2)
+        for _, planned in sharded.iterate(2):
+            assert planned.assignments[1] is None
+            assert planned.assignments[0] is not None
+
+    def test_zero_quota_epoch_raises(self):
+        plan = self._plan(10, [0, 0])
+        sharded = ShardPlan(plan, np.zeros(10, dtype=np.int64), 2)
+        with pytest.raises(ProtocolError):
+            list(sharded.iterate(1))
+
+    def test_apportion_conserves_and_respects_remaining(self):
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            remaining = rng.integers(0, 50, size=rng.integers(1, 6))
+            total = int(remaining.sum())
+            take = int(rng.integers(0, total + 5)) if total else 0
+            quotas = _apportion(take, remaining)
+            assert quotas.sum() == min(take, total)
+            assert (quotas <= remaining).all()
+            assert (quotas >= 0).all()
+
+
+class TestShardIOAccounting:
+    @pytest.fixture(scope="class")
+    def reports(self, tiny_ds):
+        """One run per sweep arm on the functional case (class-scoped:
+        the pin and the reconciliation tests share them)."""
+        case = CONFORMANCE_CASES[1]      # functional-hybrid, full epoch
+        _, hash_rep = run_backend("sharded", case, tiny_ds,
+                                  _SWEEP[0])
+        _, bfs_rep = run_backend("sharded", case, tiny_ds, _SWEEP[1])
+        return hash_rep, bfs_rep
+
+    def test_report_exposes_per_minibatch_io(self, reports, tiny_ds):
+        _, rep = reports
+        assert rep.shard_io, "sharded report carries no io records"
+        row_bytes = (tiny_ds.features.dtype.itemsize
+                     * tiny_ds.features.shape[1])
+        for rec in rep.shard_io:
+            assert rec["local_bytes"] == rec["local_rows"] * row_bytes
+            assert rec["remote_bytes"] == \
+                rec["remote_rows"] * row_bytes
+            assert rec["cache_hits"] >= 0
+            assert 0 <= rec["iteration"] < rep.iterations
+            assert 0 <= rec["worker"] < rep.num_workers
+
+    def test_totals_reconcile_with_kernel_stats(self, reports):
+        """Per-minibatch records and the workers' counter deltas are
+        independently sourced; they must tell the same story."""
+        for rep in reports:
+            assert rep.local_gather_bytes == \
+                sum(r["local_bytes"] for r in rep.shard_io)
+            assert rep.remote_gather_bytes == \
+                sum(r["remote_bytes"] for r in rep.shard_io)
+            ks = rep.kernel_stats
+            assert ks["remote_cache_misses"] + \
+                ks.get("remote_cache_hits", 0) == \
+                sum(r["remote_rows"] + r["cache_hits"]
+                    for r in rep.shard_io)
+            # The resolver keeps the standard gather books too, so the
+            # bench's "kernel io" column stays meaningful.
+            assert ks["gather_src_bytes"] > 0
+            assert format_shard_io(ks, rep.iterations) != "-"
+
+    def test_bfs_with_cache_beats_hash_without(self, reports):
+        """The locality pin: on a clustered generator graph the
+        bfs partition plus the degree-aware cache must move strictly
+        fewer remote bytes than hash partitioning with no cache."""
+        hash_rep, bfs_rep = reports
+        assert hash_rep.remote_cache_hit_rate == 0.0
+        assert bfs_rep.remote_cache_hit_rate > 0.0
+        assert bfs_rep.remote_gather_bytes < hash_rep.remote_gather_bytes
+
+    def test_non_sharded_stats_render_dash(self):
+        assert format_shard_io({}) == "-"
+        assert format_shard_io({"gather_src_bytes": 10}) == "-"
+
+
+class TestShardedStore:
+    def test_shard_major_layout_round_trips(self, tiny_ds):
+        parts = np.arange(tiny_ds.graph.num_vertices,
+                          dtype=np.int64) % 3
+        smap = ShardMap.from_partition(parts, num_shards=3)
+        store = SharedFeatureStore.create(tiny_ds, shard_map=smap)
+        try:
+            assert store.is_sharded
+            rebuilt = store.shard_map()
+            np.testing.assert_array_equal(rebuilt.parts, parts)
+            np.testing.assert_array_equal(
+                store.features[rebuilt.shard_row], tiny_ds.features)
+            np.testing.assert_array_equal(
+                store.labels[rebuilt.shard_row], tiny_ds.labels)
+            # Topology stays globally indexed.
+            np.testing.assert_array_equal(store.indptr,
+                                          tiny_ds.graph.indptr)
+            assert store.manifest.shard.num_shards == 3
+            del rebuilt
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_shard_spec_requires_map(self, tiny_ds):
+        with pytest.raises(ProtocolError):
+            SharedFeatureStore.create(
+                tiny_ds, shard_spec=SharedShardSpec(num_shards=2))
+
+    def test_plain_store_is_not_sharded(self, tiny_ds):
+        store = SharedFeatureStore.create(tiny_ds)
+        try:
+            assert not store.is_sharded
+            with pytest.raises(ProtocolError):
+                store.shard_map()
+        finally:
+            store.close()
+            store.unlink()
